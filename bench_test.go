@@ -1,0 +1,422 @@
+// Package repro's root benchmark harness: one benchmark per table and
+// figure of the paper's evaluation (§6–7). Laptop-scale figures (11–13)
+// run the real end-to-end pipeline on a reduced synthetic survey; the
+// CS-2 results (Fig. 14, Tables 1–5, §7.6) run the machine model on the
+// paper-scale rank layouts. Custom metrics carry each experiment's
+// headline quantity (NMSE, PB/s, PFlop/s, GFlop/s/W) alongside the usual
+// ns/op.
+//
+// Regenerate everything:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bsp"
+	"repro/internal/core"
+	"repro/internal/cs2"
+	"repro/internal/dense"
+	"repro/internal/lsqr"
+	"repro/internal/mdc"
+	"repro/internal/precision"
+	"repro/internal/ranks"
+	"repro/internal/roofline"
+	"repro/internal/seismic"
+	"repro/internal/sfc"
+	"repro/internal/tlr"
+	"repro/internal/tlrmmm"
+	"repro/internal/wse"
+	"repro/internal/wsesim"
+)
+
+// benchDataset is the reduced survey used by the figure benchmarks: large
+// enough for real compression and a meaningful inversion, small enough to
+// iterate (the cmd/ tools run the full demo scale).
+func benchDataset() seismic.Options {
+	return seismic.Options{
+		Geom: seismic.Geometry{
+			NsX: 12, NsY: 8, NrX: 10, NrY: 6,
+			Dx: 20, Dy: 20, SrcDepth: 10, RecDepth: 300,
+		},
+		Nt: 256, Dt: 0.004,
+	}
+}
+
+var (
+	pipeOnce sync.Once
+	pipeTLR  *core.Pipeline
+	pipeErr  error
+)
+
+func benchPipeline(b *testing.B) *core.Pipeline {
+	b.Helper()
+	pipeOnce.Do(func() {
+		pipeTLR, pipeErr = core.BuildPipeline(core.PipelineOptions{
+			Dataset: benchDataset(), TileSize: 10, Accuracy: 1e-4,
+		})
+	})
+	if pipeErr != nil {
+		b.Fatal(pipeErr)
+	}
+	return pipeTLR
+}
+
+var (
+	distMu    sync.Mutex
+	distCache = map[ranks.Config]*ranks.Distribution{}
+)
+
+func benchDist(b *testing.B, cfg ranks.Config) *ranks.Distribution {
+	b.Helper()
+	distMu.Lock()
+	defer distMu.Unlock()
+	if d, ok := distCache[cfg]; ok {
+		return d
+	}
+	d, err := ranks.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// force the cached layout pass outside the timed region
+	d.StackedColumnHeights()
+	distCache[cfg] = d
+	return d
+}
+
+func evalPlan(b *testing.B, cfg ranks.Config, sw, systems int, s wse.Strategy) *wse.Metrics {
+	b.Helper()
+	m, err := wse.Plan{
+		Dist: benchDist(b, cfg), Arch: cs2.DefaultArch(),
+		StackWidth: sw, Systems: systems, Strategy: s,
+	}.Evaluate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkFig11MDDInversion times one single-virtual-source MDD solve
+// (30 LSQR iterations on the TLR kernel) and reports the inversion and
+// adjoint NMSE of Fig. 11.
+func BenchmarkFig11MDDInversion(b *testing.B) {
+	pipe := benchPipeline(b)
+	vs := pipe.DS.Geom.NumReceivers() / 2
+	var rep *core.MDDReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = pipe.RunMDD(vs, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.InversionNMSE, "inversionNMSE")
+	b.ReportMetric(rep.AdjointNMSE, "adjointNMSE")
+}
+
+// BenchmarkFig12CompressionSweep times TLR compression of the kernel at
+// one (nb, acc) point per sub-benchmark and reports the compression ratio
+// of Fig. 12.
+func BenchmarkFig12CompressionSweep(b *testing.B) {
+	ds := benchPipeline(b).DS
+	for _, cfg := range []struct {
+		name string
+		nb   int
+		acc  float64
+	}{
+		{"nb10_acc1e-4", 10, 1e-4},
+		{"nb10_acc1e-2", 10, 1e-2},
+		{"nb20_acc1e-4", 20, 1e-4},
+		{"nb20_acc1e-2", 20, 1e-2},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				pipe, err := core.BuildPipeline(core.PipelineOptions{
+					Dataset: benchDataset(), TileSize: cfg.nb, Accuracy: cfg.acc,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = pipe.CompressionRatio()
+			}
+			b.ReportMetric(ratio, "compressionX")
+			_ = ds
+		})
+	}
+}
+
+// BenchmarkFig13ZeroOffset times the embarrassingly parallel
+// multi-virtual-source line inversion behind Fig. 13.
+func BenchmarkFig13ZeroOffset(b *testing.B) {
+	pipe := benchPipeline(b)
+	g := pipe.DS.Geom
+	vss := make([]int, g.NrX)
+	for ix := 0; ix < g.NrX; ix++ {
+		vss[ix] = g.ReceiverIndex(ix, g.NrY/2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipe.Problem.InvertLine(vss, lsqr.Options{MaxIters: 30}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(vss)), "virtualSources")
+}
+
+// BenchmarkFig14TileSize evaluates the constant-size synthetic MVM sweep
+// of Fig. 14 and reports the saturating relative bandwidth.
+func BenchmarkFig14TileSize(b *testing.B) {
+	arch := cs2.DefaultArch()
+	sizes := []int{8, 16, 32, 64, 128}
+	var pts []wse.SyntheticPoint
+	for i := 0; i < b.N; i++ {
+		pts = wse.SyntheticTileSweep(arch, sizes)
+	}
+	last := pts[len(pts)-1]
+	b.ReportMetric(last.RelativeBW/1e15, "relPB/s@N128")
+	b.ReportMetric(last.AbsoluteBW/1e15, "absPB/s@N128")
+}
+
+// BenchmarkTable1Occupancy evaluates the five validated configurations on
+// six shards and reports the occupancy of the nb=25 row.
+func BenchmarkTable1Occupancy(b *testing.B) {
+	_ = evalPlan(b, ranks.Config{NB: 25, Acc: 1e-4}, 64, 6, wse.Strategy1) // calibrate the layout outside the timed region
+	b.ResetTimer()
+	var m *wse.Metrics
+	for i := 0; i < b.N; i++ {
+		m = evalPlan(b, ranks.Config{NB: 25, Acc: 1e-4}, 64, 6, wse.Strategy1)
+	}
+	b.ReportMetric(m.Occupancy*100, "occupancy%")
+	b.ReportMetric(float64(m.PEsUsed), "PEsUsed")
+}
+
+// BenchmarkTable2CycleCounts reports the modelled worst cycle count of
+// the nb=70 acc=1e-4 configuration (paper: 19131).
+func BenchmarkTable2CycleCounts(b *testing.B) {
+	_ = evalPlan(b, ranks.Config{NB: 70, Acc: 1e-4}, 23, 6, wse.Strategy1) // calibrate the layout outside the timed region
+	b.ResetTimer()
+	var m *wse.Metrics
+	for i := 0; i < b.N; i++ {
+		m = evalPlan(b, ranks.Config{NB: 70, Acc: 1e-4}, 23, 6, wse.Strategy1)
+	}
+	b.ReportMetric(float64(m.WorstCycles), "worstCycles")
+	b.ReportMetric(float64(m.RelativeBytes), "relBytes")
+	b.ReportMetric(float64(m.AbsoluteBytes), "absBytes")
+}
+
+// BenchmarkTable3SixShards reports the six-shard aggregate bandwidths of
+// the best configuration (paper: 12.26 PB/s relative for nb=50 acc=3e-4).
+func BenchmarkTable3SixShards(b *testing.B) {
+	_ = evalPlan(b, ranks.Config{NB: 50, Acc: 3e-4}, 18, 6, wse.Strategy1) // calibrate the layout outside the timed region
+	b.ResetTimer()
+	var m *wse.Metrics
+	for i := 0; i < b.N; i++ {
+		m = evalPlan(b, ranks.Config{NB: 50, Acc: 3e-4}, 18, 6, wse.Strategy1)
+	}
+	b.ReportMetric(m.RelativeBW/1e15, "relPB/s")
+	b.ReportMetric(m.AbsoluteBW/1e15, "absPB/s")
+	b.ReportMetric(m.FlopRate/1e15, "PFlop/s")
+}
+
+// BenchmarkTable4StrongScaling reports the 20-shard strategy-1 point and
+// its parallel efficiency against the 6-shard baseline (paper: 95%).
+func BenchmarkTable4StrongScaling(b *testing.B) {
+	cfg := ranks.Config{NB: 25, Acc: 1e-4}
+	base := evalPlan(b, cfg, 64, 6, wse.Strategy1)
+	var m *wse.Metrics
+	for i := 0; i < b.N; i++ {
+		m = evalPlan(b, cfg, 19, 20, wse.Strategy1)
+	}
+	b.ReportMetric(m.RelativeBW/1e15, "relPB/s")
+	b.ReportMetric(wse.ParallelEfficiency(base, m)*100, "efficiency%")
+}
+
+// BenchmarkTable5FortyEight reports the 48-shard strategy-2 headline run
+// (paper: 92.58 PB/s relative, 245.59 absolute, 37.95 PFlop/s).
+func BenchmarkTable5FortyEight(b *testing.B) {
+	var m *wse.Metrics
+	for i := 0; i < b.N; i++ {
+		m = evalPlan(b, ranks.Config{NB: 70, Acc: 1e-4}, 23, 48, wse.Strategy2)
+	}
+	b.ReportMetric(m.RelativeBW/1e15, "relPB/s")
+	b.ReportMetric(m.AbsoluteBW/1e15, "absPB/s")
+	b.ReportMetric(m.FlopRate/1e15, "PFlop/s")
+}
+
+// BenchmarkFig15Roofline evaluates the 6-shard operating point against the
+// Fig. 15 vendor ceilings.
+func BenchmarkFig15Roofline(b *testing.B) {
+	m := evalPlan(b, ranks.Config{NB: 50, Acc: 3e-4}, 18, 6, wse.Strategy1)
+	machines := roofline.Fig15Machines()
+	var pt roofline.Point
+	for i := 0; i < b.N; i++ {
+		pt = roofline.NewPoint("TLR-MVM six CS-2 relative", m.FlopRate, m.RelativeBW)
+		for _, mach := range machines {
+			_ = mach.Attainable(pt.AI)
+		}
+	}
+	b.ReportMetric(pt.BW/1e15, "relPB/s")
+	b.ReportMetric(pt.AI, "flop/byte")
+}
+
+// BenchmarkFig16Roofline evaluates the 48-shard point against the Top-5
+// ceilings of Fig. 16.
+func BenchmarkFig16Roofline(b *testing.B) {
+	m := evalPlan(b, ranks.Config{NB: 70, Acc: 1e-4}, 23, 48, wse.Strategy2)
+	machines := roofline.Fig16Machines()
+	var pt roofline.Point
+	for i := 0; i < b.N; i++ {
+		pt = roofline.NewPoint("TLR-MVM 48 CS-2 relative", m.FlopRate, m.RelativeBW)
+		for _, mach := range machines {
+			_ = mach.Attainable(pt.AI)
+		}
+	}
+	b.ReportMetric(pt.BW/1e15, "relPB/s")
+	b.ReportMetric(pt.Flops/1e15, "PFlop/s")
+}
+
+// BenchmarkPowerModel reports the §7.6 power profile (paper: 16 kW,
+// 36.50 GFlop/s/W).
+func BenchmarkPowerModel(b *testing.B) {
+	cfg := ranks.Config{NB: 25, Acc: 1e-4}
+	plan := wse.Plan{
+		Dist: benchDist(b, cfg), Arch: cs2.DefaultArch(),
+		StackWidth: 64, Systems: 6, Strategy: wse.Strategy1,
+	}
+	m, err := plan.Evaluate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep wse.PowerReport
+	for i := 0; i < b.N; i++ {
+		rep = plan.Power(m)
+	}
+	b.ReportMetric(rep.Watts/1e3, "kW")
+	b.ReportMetric(rep.GFlopsPerWatt, "GFlop/s/W")
+}
+
+// --- ablation benchmarks (DESIGN.md §4) ---
+
+// BenchmarkAblationShuffleVsCommAvoiding reports the modelled speedup of
+// removing the shuffle phase (§5.3) on the nb=70 acc=1e-4 layout.
+func BenchmarkAblationShuffleVsCommAvoiding(b *testing.B) {
+	d := benchDist(b, ranks.Config{NB: 70, Acc: 1e-4})
+	f := bsp.DefaultFabric()
+	var cmp *bsp.Comparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		cmp, err = bsp.Compare(d, 23, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cmp.Speedup, "speedupX")
+	b.ReportMetric(cmp.ShuffleShare*100, "shuffleShare%")
+}
+
+// BenchmarkAblationOrdering reports the compression ratio per ordering on
+// the bench kernel (§4's Hilbert-vs-alternatives claim).
+func BenchmarkAblationOrdering(b *testing.B) {
+	ds, err := seismic.Generate(benchDataset())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ord := range []sfc.Order{sfc.Shuffled, sfc.Natural, sfc.Morton, sfc.Hilbert} {
+		b.Run(ord.String(), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				rds, _ := ds.Reorder(ord)
+				dk, err := mdc.NewDenseKernel(rds.K)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tk, err := mdc.CompressKernel(dk, tlr.Options{NB: 10, Tol: 1e-3})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = float64(dk.Bytes()) / float64(tk.Bytes())
+			}
+			b.ReportMetric(ratio, "compressionX")
+		})
+	}
+}
+
+// BenchmarkAblationPrecision reports fp16 storage savings and the induced
+// reconstruction error on a compressed bench matrix.
+func BenchmarkAblationPrecision(b *testing.B) {
+	ds, err := seismic.Generate(benchDataset())
+	if err != nil {
+		b.Fatal(err)
+	}
+	hds, _ := ds.Reorder(sfc.Hilbert)
+	tm, err := tlr.Compress(hds.K[hds.NumFreqs()-1], tlr.Options{NB: 10, Tol: 1e-4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := tm.Reconstruct()
+	var q *precision.Quantized
+	for i := 0; i < b.N; i++ {
+		q, err = precision.Quantize(tm, precision.Uniform{F: precision.FP16})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(q.Savings()*100, "savings%")
+	b.ReportMetric(dense.RelError(q.T.Reconstruct(), ref), "relError")
+}
+
+// BenchmarkAblationTLRMMM reports the fused multi-shot schedule's
+// arithmetic-intensity gain at 32 shots (§8).
+func BenchmarkAblationTLRMMM(b *testing.B) {
+	ds, err := seismic.Generate(benchDataset())
+	if err != nil {
+		b.Fatal(err)
+	}
+	hds, _ := ds.Reorder(sfc.Hilbert)
+	tm, err := tlr.Compress(hds.K[0], tlr.Options{NB: 10, Tol: 1e-4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := dense.Random(rng, tm.N, 32)
+	y := dense.New(tm.M, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tlrmmm.MulMatFusedParallel(tm, x, y, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(tlrmmm.FusedTraffic(tm, 32).Intensity, "fusedAI")
+	b.ReportMetric(tlrmmm.NaiveTraffic(tm, 32).Intensity, "naiveAI")
+}
+
+// BenchmarkWaferFunctionalSim runs the functional PE-grid simulator on a
+// bench frequency matrix and reports its executed traffic.
+func BenchmarkWaferFunctionalSim(b *testing.B) {
+	ds, err := seismic.Generate(benchDataset())
+	if err != nil {
+		b.Fatal(err)
+	}
+	hds, _ := ds.Reorder(sfc.Hilbert)
+	tm, err := tlr.Compress(hds.K[0], tlr.Options{NB: 10, Tol: 1e-3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mach, err := wsesim.Build(tm, 8, cs2.DefaultArch())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := dense.Random(rng, tm.N, 1).Data
+	y := make([]complex64, tm.M)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mach.MulVec(x, y)
+	}
+	b.ReportMetric(float64(mach.NumPEs()), "PEs")
+}

@@ -1,0 +1,200 @@
+// Command cs2bench regenerates the paper's Cerebras CS-2 performance
+// results on the machine model: Fig. 14 (tile-size bandwidth sweep),
+// Table 1 (occupancy), Table 2 (worst cycles / memory accesses), Table 3
+// (six-shard bandwidths), Table 4 (strong scaling), Table 5 (48-shard
+// runs), and the §7.6 power profile.
+//
+// Usage:
+//
+//	cs2bench -all
+//	cs2bench -fig14 -table3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cs2"
+	"repro/internal/ranks"
+	"repro/internal/wse"
+)
+
+var distCache = map[ranks.Config]*ranks.Distribution{}
+
+func dist(cfg ranks.Config) *ranks.Distribution {
+	if d, ok := distCache[cfg]; ok {
+		return d
+	}
+	d, err := ranks.New(cfg)
+	if err != nil {
+		log.Fatalf("calibrating %v: %v", cfg, err)
+	}
+	distCache[cfg] = d
+	return d
+}
+
+func eval(cfg ranks.Config, sw, systems int, s wse.Strategy) *wse.Metrics {
+	m, err := wse.Plan{
+		Dist: dist(cfg), Arch: cs2.DefaultArch(),
+		StackWidth: sw, Systems: systems, Strategy: s,
+	}.Evaluate()
+	if err != nil {
+		log.Fatalf("evaluating %v sw=%d: %v", cfg, sw, err)
+	}
+	return m
+}
+
+var fiveConfigs = []struct {
+	cfg ranks.Config
+	sw  int
+}{
+	{ranks.Config{NB: 25, Acc: 1e-4}, 64},
+	{ranks.Config{NB: 50, Acc: 1e-4}, 32},
+	{ranks.Config{NB: 70, Acc: 1e-4}, 23},
+	{ranks.Config{NB: 50, Acc: 3e-4}, 18},
+	{ranks.Config{NB: 70, Acc: 3e-4}, 14},
+}
+
+func fig14() {
+	fmt.Println("== Fig. 14: tile size vs aggregate bandwidth (one CS-2, constant-size NxN MVM per PE) ==")
+	fmt.Printf("%6s %10s %16s %16s\n", "N", "cycles", "relative (PB/s)", "absolute (PB/s)")
+	sizes := []int{8, 12, 16, 24, 32, 48, 64, 96, 128}
+	for _, p := range wse.SyntheticTileSweep(cs2.DefaultArch(), sizes) {
+		fmt.Printf("%6d %10d %16.3f %16.3f\n", p.N, p.Cycles, p.RelativeBW/1e15, p.AbsoluteBW/1e15)
+	}
+	fmt.Println()
+}
+
+func table1() {
+	fmt.Println("== Table 1: configurations delivering proper MDD accuracy (6 shards, strategy 1) ==")
+	fmt.Printf("%4s %8s %12s %12s %10s\n", "nb", "acc", "stack width", "PEs used", "occupancy")
+	for _, c := range fiveConfigs {
+		m := eval(c.cfg, c.sw, 6, wse.Strategy1)
+		fmt.Printf("%4d %8.0e %12d %12d %9.0f%%\n",
+			c.cfg.NB, c.cfg.Acc, c.sw, m.PEsUsed, m.Occupancy*100)
+	}
+	fmt.Println()
+}
+
+func table2() {
+	fmt.Println("== Table 2: worst cycle count / memory accesses (bytes) ==")
+	fmt.Printf("%4s %8s %12s %18s %18s\n", "nb", "acc", "worst cycles", "relative accesses", "absolute accesses")
+	for _, c := range fiveConfigs {
+		m := eval(c.cfg, c.sw, 6, wse.Strategy1)
+		fmt.Printf("%4d %8.0e %12d %18.3e %18.3e\n",
+			c.cfg.NB, c.cfg.Acc, m.WorstCycles, float64(m.RelativeBytes), float64(m.AbsoluteBytes))
+	}
+	fmt.Println()
+}
+
+func table3() {
+	fmt.Println("== Table 3: aggregate bandwidth metrics on six shards ==")
+	fmt.Printf("%4s %8s %16s %16s %10s\n", "nb", "acc", "agg rel (PB/s)", "agg abs (PB/s)", "PFlop/s")
+	for _, c := range fiveConfigs {
+		m := eval(c.cfg, c.sw, 6, wse.Strategy1)
+		fmt.Printf("%4d %8.0e %16.2f %16.2f %10.2f\n",
+			c.cfg.NB, c.cfg.Acc, m.RelativeBW/1e15, m.AbsoluteBW/1e15, m.FlopRate/1e15)
+	}
+	fmt.Println()
+}
+
+func table4() {
+	fmt.Println("== Table 4: strong scaling, nb=25 acc=1e-4 ==")
+	cfg := ranks.Config{NB: 25, Acc: 1e-4}
+	fmt.Printf("%7s %6s %10s %16s %16s %10s %11s\n",
+		"shards", "sw", "strategy", "agg rel (PB/s)", "agg abs (PB/s)", "PFlop/s", "efficiency")
+	base := eval(cfg, 64, 6, wse.Strategy1)
+	rows := []struct {
+		shards, sw int
+		strat      wse.Strategy
+	}{
+		{6, 64, wse.Strategy1},
+		{12, 32, wse.Strategy1},
+		{16, 24, wse.Strategy1},
+		{20, 19, wse.Strategy1},
+		{48, 64, wse.Strategy2},
+	}
+	for _, r := range rows {
+		m := eval(cfg, r.sw, r.shards, r.strat)
+		fmt.Printf("%7d %6d %10d %16.2f %16.2f %10.2f %10.0f%%\n",
+			r.shards, r.sw, int(r.strat), m.RelativeBW/1e15, m.AbsoluteBW/1e15,
+			m.FlopRate/1e15, wse.ParallelEfficiency(base, m)*100)
+	}
+	fmt.Println()
+}
+
+func table5() {
+	fmt.Println("== Table 5: 48-shard runs, strategy 2, acc=1e-4 ==")
+	fmt.Printf("%4s %6s %7s %16s %16s %10s %11s\n",
+		"nb", "sw", "shards", "agg rel (PB/s)", "agg abs (PB/s)", "PFlop/s", "time (us)")
+	rows := []struct {
+		cfg        ranks.Config
+		sw, shards int
+	}{
+		{ranks.Config{NB: 25, Acc: 1e-4}, 64, 48},
+		{ranks.Config{NB: 50, Acc: 1e-4}, 32, 47},
+		{ranks.Config{NB: 70, Acc: 1e-4}, 23, 48},
+	}
+	for _, r := range rows {
+		m := eval(r.cfg, r.sw, r.shards, wse.Strategy2)
+		fmt.Printf("%4d %6d %7d %16.2f %16.2f %10.2f %11.3f\n",
+			r.cfg.NB, r.sw, r.shards, m.RelativeBW/1e15, m.AbsoluteBW/1e15,
+			m.FlopRate/1e15, m.TimeSeconds*1e6)
+	}
+	fmt.Println()
+}
+
+func power() {
+	fmt.Println("== §7.6: power profile of one CS-2 (nb=25, acc=1e-4, sw=64) ==")
+	cfg := ranks.Config{NB: 25, Acc: 1e-4}
+	p := wse.Plan{Dist: dist(cfg), Arch: cs2.DefaultArch(), StackWidth: 64, Systems: 6, Strategy: wse.Strategy1}
+	m, err := p.Evaluate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := p.Power(m)
+	fmt.Printf("sustained power:     %8.1f kW   (paper: 16 kW)\n", rep.Watts/1e3)
+	fmt.Printf("flop rate / system:  %8.1f TFlop/s\n", rep.FlopsPerSystem/1e12)
+	fmt.Printf("energy efficiency:   %8.2f GFlop/s/W (paper: 36.50)\n", rep.GFlopsPerWatt)
+	fmt.Println()
+}
+
+func main() {
+	log.SetFlags(0)
+	all := flag.Bool("all", false, "run every experiment")
+	f14 := flag.Bool("fig14", false, "Fig. 14 tile-size sweep")
+	t1 := flag.Bool("table1", false, "Table 1 occupancy")
+	t2 := flag.Bool("table2", false, "Table 2 cycles and accesses")
+	t3 := flag.Bool("table3", false, "Table 3 six-shard bandwidths")
+	t4 := flag.Bool("table4", false, "Table 4 strong scaling")
+	t5 := flag.Bool("table5", false, "Table 5 48-shard runs")
+	pw := flag.Bool("power", false, "§7.6 power profile")
+	flag.Parse()
+	if !(*all || *f14 || *t1 || *t2 || *t3 || *t4 || *t5 || *pw) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *all || *f14 {
+		fig14()
+	}
+	if *all || *t1 {
+		table1()
+	}
+	if *all || *t2 {
+		table2()
+	}
+	if *all || *t3 {
+		table3()
+	}
+	if *all || *t4 {
+		table4()
+	}
+	if *all || *t5 {
+		table5()
+	}
+	if *all || *pw {
+		power()
+	}
+}

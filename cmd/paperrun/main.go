@@ -1,0 +1,232 @@
+// Command paperrun regenerates every machine-model experiment of the
+// paper in one run and writes a markdown report with the published value
+// beside each measured one — the single-command reproduction artifact.
+// The laptop-scale MDD figures are included when -full is set (they add
+// a few minutes of modelling and inversion time).
+//
+//	paperrun -o REPORT.md
+//	paperrun -o REPORT.md -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cs2"
+	"repro/internal/lsqr"
+	"repro/internal/ranks"
+	"repro/internal/seismic"
+	"repro/internal/wse"
+)
+
+type report struct {
+	b strings.Builder
+}
+
+func (r *report) line(format string, args ...any) {
+	fmt.Fprintf(&r.b, format+"\n", args...)
+}
+
+var distCache = map[ranks.Config]*ranks.Distribution{}
+
+func dist(cfg ranks.Config) *ranks.Distribution {
+	if d, ok := distCache[cfg]; ok {
+		return d
+	}
+	d, err := ranks.New(cfg)
+	if err != nil {
+		log.Fatalf("calibrating %v: %v", cfg, err)
+	}
+	distCache[cfg] = d
+	return d
+}
+
+func eval(cfg ranks.Config, sw, systems int, s wse.Strategy) *wse.Metrics {
+	m, err := wse.Plan{
+		Dist: dist(cfg), Arch: cs2.DefaultArch(),
+		StackWidth: sw, Systems: systems, Strategy: s,
+	}.Evaluate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func pct(measured, paper float64) string {
+	return fmt.Sprintf("%+.1f%%", 100*(measured-paper)/paper)
+}
+
+func main() {
+	log.SetFlags(0)
+	out := flag.String("o", "REPORT.md", "output markdown path")
+	full := flag.Bool("full", false, "include the laptop-scale MDD experiments")
+	flag.Parse()
+
+	start := time.Now()
+	r := &report{}
+	r.line("# Reproduction report")
+	r.line("")
+	r.line("Generated %s by `cmd/paperrun`. Every row pairs a published value", time.Now().UTC().Format(time.RFC3339))
+	r.line("from the paper's evaluation with this reproduction's measurement.")
+	r.line("")
+
+	// Fig. 12 totals
+	r.line("## Fig. 12 — compressed dataset sizes (GB)")
+	r.line("")
+	r.line("| nb | acc | paper | model | Δ |")
+	r.line("|---|---|---|---|---|")
+	for _, nb := range []int{25, 50, 70} {
+		for _, acc := range []float64{1e-4, 3e-4, 5e-4, 7e-4} {
+			cfg := ranks.Config{NB: nb, Acc: acc}
+			paper := float64(ranks.Fig12TotalBytes[cfg]) / 1e9
+			model := float64(dist(cfg).TotalBytes()) / 1e9
+			r.line("| %d | %.0e | %.0f | %.1f | %s |", nb, acc, paper, model, pct(model, paper))
+		}
+	}
+	r.line("")
+
+	// Tables 1–3
+	type cfgRow struct {
+		cfg                ranks.Config
+		sw                 int
+		paperPE            int64
+		paperCyc           int64
+		paperRel, paperAbs float64 // PB/s
+		paperPF            float64
+	}
+	rows := []cfgRow{
+		{ranks.Config{NB: 25, Acc: 1e-4}, 64, 4417690, 21350, 11.24, 26.19, 3.77},
+		{ranks.Config{NB: 50, Acc: 1e-4}, 32, 4330150, 19214, 11.70, 30.15, 4.60},
+		{ranks.Config{NB: 70, Acc: 1e-4}, 23, 4416383, 19131, 11.92, 31.62, 4.89},
+		{ranks.Config{NB: 50, Acc: 3e-4}, 18, 4445947, 12275, 12.26, 29.05, 4.16},
+		{ranks.Config{NB: 70, Acc: 3e-4}, 14, 4252877, 12999, 11.60, 28.79, 4.23},
+	}
+	r.line("## Tables 1–3 — six shards, strategy 1")
+	r.line("")
+	r.line("| nb/acc | sw | PEs paper/model | cycles paper/model | rel PB/s paper/model | abs PB/s paper/model | PFlop/s paper/model |")
+	r.line("|---|---|---|---|---|---|---|")
+	for _, c := range rows {
+		m := eval(c.cfg, c.sw, 6, wse.Strategy1)
+		r.line("| %d/%.0e | %d | %d / %d | %d / %d | %.2f / %.2f | %.2f / %.2f | %.2f / %.2f |",
+			c.cfg.NB, c.cfg.Acc, c.sw,
+			c.paperPE, m.PEsUsed,
+			c.paperCyc, m.WorstCycles,
+			c.paperRel, m.RelativeBW/1e15,
+			c.paperAbs, m.AbsoluteBW/1e15,
+			c.paperPF, m.FlopRate/1e15)
+	}
+	r.line("")
+
+	// Table 4
+	r.line("## Table 4 — strong scaling, nb=25 acc=1e-4")
+	r.line("")
+	r.line("| shards | sw | strategy | rel PB/s paper | rel PB/s model | efficiency |")
+	r.line("|---|---|---|---|---|---|")
+	base := eval(ranks.Config{NB: 25, Acc: 1e-4}, 64, 6, wse.Strategy1)
+	t4 := []struct {
+		shards, sw int
+		strat      wse.Strategy
+		paper      float64
+	}{
+		{6, 64, wse.Strategy1, 11.24},
+		{12, 32, wse.Strategy1, 22.13},
+		{16, 24, wse.Strategy1, 29.28},
+		{20, 19, wse.Strategy1, 35.77},
+		{48, 64, wse.Strategy2, 87.73},
+	}
+	for _, c := range t4 {
+		m := eval(ranks.Config{NB: 25, Acc: 1e-4}, c.sw, c.shards, c.strat)
+		r.line("| %d | %d | %d | %.2f | %.2f | %.0f%% |",
+			c.shards, c.sw, int(c.strat), c.paper, m.RelativeBW/1e15,
+			wse.ParallelEfficiency(base, m)*100)
+	}
+	r.line("")
+
+	// Table 5
+	r.line("## Table 5 — 48-shard strategy-2 headline")
+	r.line("")
+	r.line("| nb | sw | shards | rel PB/s paper/model | abs PB/s paper/model | PFlop/s paper/model |")
+	r.line("|---|---|---|---|---|---|")
+	t5 := []struct {
+		cfg        ranks.Config
+		sw, shards int
+		rel, abs   float64
+		pf         float64
+	}{
+		{ranks.Config{NB: 25, Acc: 1e-4}, 64, 48, 87.73, 204.51, 29.40},
+		{ranks.Config{NB: 50, Acc: 1e-4}, 32, 47, 91.15, 235.04, 35.86},
+		{ranks.Config{NB: 70, Acc: 1e-4}, 23, 48, 92.58, 245.59, 37.95},
+	}
+	for _, c := range t5 {
+		m := eval(c.cfg, c.sw, c.shards, wse.Strategy2)
+		r.line("| %d | %d | %d | %.2f / %.2f | %.2f / %.2f | %.2f / %.2f |",
+			c.cfg.NB, c.sw, c.shards,
+			c.rel, m.RelativeBW/1e15, c.abs, m.AbsoluteBW/1e15, c.pf, m.FlopRate/1e15)
+	}
+	r.line("")
+
+	// Power
+	r.line("## §7.6 — power")
+	r.line("")
+	plan := wse.Plan{Dist: dist(ranks.Config{NB: 25, Acc: 1e-4}), Arch: cs2.DefaultArch(),
+		StackWidth: 64, Systems: 6, Strategy: wse.Strategy1}
+	mp, err := plan.Evaluate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pw := plan.Power(mp)
+	r.line("| quantity | paper | model |")
+	r.line("|---|---|---|")
+	r.line("| sustained power | 16 kW | %.1f kW |", pw.Watts/1e3)
+	r.line("| energy efficiency | 36.50 GFlop/s/W | %.2f GFlop/s/W |", pw.GFlopsPerWatt)
+	r.line("")
+
+	if *full {
+		r.line("## Figs. 11/13 — laptop-scale MDD")
+		r.line("")
+		pipe, err := core.BuildPipeline(core.PipelineOptions{
+			Dataset: seismic.DemoOptions(), TileSize: 48, Accuracy: 1e-3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		vs := pipe.DS.Geom.NumReceivers() / 2
+		rep, err := pipe.RunMDD(vs, 30)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.line("- compression: %.2fx (paper: 7x at its 300x larger matrix extent)", pipe.CompressionRatio())
+		r.line("- adjoint NMSE %.4f vs inversion NMSE %.4f: inversion wins %.1fx",
+			rep.AdjointNMSE, rep.InversionNMSE, rep.AdjointNMSE/rep.InversionNMSE)
+		g := pipe.DS.Geom
+		vss := make([]int, g.NrX)
+		for ix := 0; ix < g.NrX; ix++ {
+			vss[ix] = g.ReceiverIndex(ix, g.NrY/2)
+		}
+		sols, err := pipe.Problem.InvertLine(vss, lsqr.Options{MaxIters: 30}, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var worst float64
+		for _, s := range sols {
+			if n := pipe.Problem.NMSEAgainstTruth(s.X, s.VS); n > worst {
+				worst = n
+			}
+		}
+		r.line("- %d-virtual-source line inverted in parallel; worst NMSE %.4f", len(sols), worst)
+		r.line("")
+	}
+
+	r.line("---")
+	r.line("generated in %.1fs", time.Since(start).Seconds())
+
+	if err := os.WriteFile(*out, []byte(r.b.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes) in %.1fs\n", *out, r.b.Len(), time.Since(start).Seconds())
+}

@@ -1,0 +1,97 @@
+// Command roofline prints the roofline performance models of Figs. 15 and
+// 16: the peak ceilings of the compared platforms, the machine-model
+// TLR-MVM operating points, and the paper's published comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/roofline"
+	"repro/internal/wse"
+)
+
+func printMachines(ms []roofline.Machine) {
+	fmt.Printf("%-38s %14s %14s %12s\n", "platform", "peak BW (PB/s)", "peak PFlop/s", "ridge (F/B)")
+	for _, m := range ms {
+		fmt.Printf("%-38s %14.3f %14.3f %12.3f\n",
+			m.Name, m.PeakBW()/1e15, m.PeakFlops()/1e15, m.RidgeAI())
+	}
+}
+
+func printPoint(p roofline.Point) {
+	fmt.Printf("%-46s AI %.3f flop/B | %8.2f PFlop/s | %8.2f PB/s\n",
+		p.Name, p.AI, p.Flops/1e15, p.BW/1e15)
+}
+
+func fig15() {
+	fmt.Println("== Fig. 15: 6-shard configuration vs vendor hardware ==")
+	printMachines(roofline.Fig15Machines())
+	fmt.Println()
+	// measured operating point: optimal 6-shard config nb=50 acc=3e-4
+	m, err := core.RunCS2Experiment(core.CS2Options{
+		NB: 50, Acc: 3e-4, StackWidth: 18, Systems: 6, Strategy: wse.Strategy1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("machine-model TLR-MVM operating points (paper: 12.26 PB/s relative):")
+	printPoint(roofline.NewPoint("TLR-MVM on six CS-2 (relative)", m.FlopRate, m.RelativeBW))
+	printPoint(roofline.NewPoint("TLR-MVM on six CS-2 (absolute)", m.FlopRate, m.AbsoluteBW))
+	fmt.Println()
+}
+
+func fig16() {
+	fmt.Println("== Fig. 16: 48-shard configuration vs the Top-5 systems ==")
+	printMachines(roofline.Fig16Machines())
+	fmt.Println()
+	m, err := core.RunCS2Experiment(core.CS2Options{
+		NB: 70, Acc: 1e-4, StackWidth: 23, Systems: 48, Strategy: wse.Strategy2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("machine-model TLR-MVM operating points (paper: 92.58 relative / 245.59 absolute PB/s):")
+	printPoint(roofline.NewPoint("TLR-MVM on 48 CS-2 (relative)", m.FlopRate, m.RelativeBW))
+	printPoint(roofline.NewPoint("TLR-MVM on 48 CS-2 (absolute)", m.FlopRate, m.AbsoluteBW))
+	fmt.Println()
+	fmt.Println("paper's constant-rank upper-bound estimates on competing systems:")
+	for _, p := range roofline.ConstantRankEstimates() {
+		printPoint(p)
+	}
+	fmt.Println()
+	// headline comparisons of §7.5
+	lenBW := 0.0
+	sumBW := 0.0
+	for _, mach := range roofline.Fig16Machines() {
+		switch mach.Name {
+		case "Leonardo (13824 NVIDIA A100)":
+			lenBW = mach.PeakBW()
+		case "Summit (27648 NVIDIA V100)":
+			sumBW = mach.PeakBW()
+		}
+	}
+	fmt.Printf("relative sustained vs Leonardo theoretical peak: %.2fx (paper: >3x)\n", m.RelativeBW/lenBW)
+	fmt.Printf("relative sustained vs Summit theoretical peak:   %.2fx (paper: >3x)\n", m.RelativeBW/sumBW)
+	fmt.Println()
+}
+
+func main() {
+	log.SetFlags(0)
+	f15 := flag.Bool("fig15", false, "Fig. 15 vendor comparison")
+	f16 := flag.Bool("fig16", false, "Fig. 16 Top-5 comparison")
+	flag.Parse()
+	if !*f15 && !*f16 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *f15 {
+		fig15()
+	}
+	if *f16 {
+		fig16()
+	}
+}

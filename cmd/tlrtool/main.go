@@ -1,0 +1,98 @@
+// Command tlrtool manages compressed-kernel files: it runs the §6.1
+// pre-processing (synthesize → Hilbert-sort → TLR-compress) and stores the
+// result in the tlrio binary format, prints stats of existing files, and
+// verifies their integrity.
+//
+//	tlrtool -compress kernel.tlrk -nb 48 -acc 1e-3
+//	tlrtool -info kernel.tlrk
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/mdc"
+	"repro/internal/seismic"
+	"repro/internal/sfc"
+	"repro/internal/tlr"
+	"repro/internal/tlrio"
+)
+
+func compress(path string, nb int, acc float64) {
+	opts := seismic.DemoOptions()
+	fmt.Printf("synthesizing %dx%d survey...\n", opts.Geom.NumSources(), opts.Geom.NumReceivers())
+	ds, err := seismic.Generate(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hds, _ := ds.Reorder(sfc.Hilbert)
+	dk, err := mdc.NewDenseKernel(hds.K)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressing %d frequency matrices (nb=%d, acc=%g)...\n", dk.NumFreqs(), nb, acc)
+	tk, err := mdc.CompressKernel(dk, tlr.Options{NB: nb, Tol: acc})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := tlrio.Write(f, &tlrio.Kernel{Freqs: hds.Freqs, Mats: tk.Mats}); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("wrote %s: %.2f MB on disk, %.2fx compression vs dense\n",
+		path, float64(st.Size())/1e6, float64(dk.Bytes())/float64(tk.Bytes()))
+}
+
+func info(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	k, err := tlrio.Read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d frequency matrices (checksum OK)\n", path, len(k.Mats))
+	if len(k.Mats) == 0 {
+		return
+	}
+	fmt.Printf("%10s %10s %8s %10s %10s %12s\n",
+		"freq (Hz)", "shape", "nb", "max rank", "avg rank", "compression")
+	var total, dense int64
+	for i, m := range k.Mats {
+		total += m.CompressedBytes()
+		dense += m.DenseBytes()
+		if i%10 == 0 || i == len(k.Mats)-1 {
+			fmt.Printf("%10.2f %6dx%-4d %7d %10d %10.1f %11.2fx\n",
+				k.Freqs[i], m.M, m.N, m.NB, m.MaxRank(), m.AvgRank(), m.CompressionRatio())
+		}
+	}
+	fmt.Printf("total: %.2f MB compressed vs %.2f MB dense (%.2fx)\n",
+		float64(total)/1e6, float64(dense)/1e6, float64(dense)/float64(total))
+}
+
+func main() {
+	log.SetFlags(0)
+	comp := flag.String("compress", "", "synthesize, compress, and write a kernel file")
+	nb := flag.Int("nb", 48, "tile size for -compress")
+	acc := flag.Float64("acc", 1e-3, "tile accuracy for -compress")
+	inf := flag.String("info", "", "print stats of a kernel file")
+	flag.Parse()
+	switch {
+	case *comp != "":
+		compress(*comp, *nb, *acc)
+	case *inf != "":
+		info(*inf)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,55 @@
+// CS-2 strong scaling: evaluates the wafer-scale-engine machine model on
+// the paper-scale rank layout, sweeping shard counts under both
+// strong-scaling strategies of §6.7 — the experiment behind Tables 4/5
+// and the 92.58 PB/s headline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ranks"
+	"repro/internal/wse"
+)
+
+func main() {
+	cfg := ranks.Config{NB: 70, Acc: 1e-4}
+	fmt.Printf("calibrating the %v rank layout to Fig. 12's %g GB total...\n",
+		cfg, float64(ranks.Fig12TotalBytes[cfg])/1e9)
+	dist, err := ranks.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("layout: %d x %d tiles x %d frequencies, %.1f GB compressed (%.1fx), mean tile rank %.1f\n",
+		dist.MT, dist.NT, dist.NumFreqs, float64(dist.TotalBytes())/1e9,
+		dist.CompressionRatio(), dist.MeanTileRank())
+
+	fmt.Println("\nstrategy 1 (split stack width):")
+	fmt.Printf("%8s %6s %14s %16s %12s\n", "systems", "sw", "rel BW (PB/s)", "abs BW (PB/s)", "occupancy")
+	for _, systems := range []int{6, 12, 24} {
+		// StackWidth 0 auto-fits the smallest chunk height whose chunk
+		// count fills the system budget (the Table 1 rule)
+		m, err := core.RunCS2WithDistribution(dist, core.CS2Options{
+			NB: 70, Acc: 1e-4, Systems: systems, Strategy: wse.Strategy1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %6d %14.2f %16.2f %11.0f%%\n",
+			systems, m.StackWidth, m.RelativeBW/1e15, m.AbsoluteBW/1e15, m.Occupancy*100)
+	}
+
+	fmt.Println("\nstrategy 2 (scatter the 8 real MVMs over 8 PEs) — the 48-system headline:")
+	m, err := core.RunCS2WithDistribution(dist, core.CS2Options{
+		NB: 70, Acc: 1e-4, StackWidth: 23, Systems: 48, Strategy: wse.Strategy2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d PEs across 48 CS-2 systems (paper: 35,784,000)\n", m.PEsUsed)
+	fmt.Printf("  relative sustained bandwidth: %.2f PB/s (paper: 92.58)\n", m.RelativeBW/1e15)
+	fmt.Printf("  absolute sustained bandwidth: %.2f PB/s (paper: 245.59)\n", m.AbsoluteBW/1e15)
+	fmt.Printf("  flop rate: %.2f PFlop/s (paper: 37.95)\n", m.FlopRate/1e15)
+	fmt.Printf("  kernel time: %.3f us\n", m.TimeSeconds*1e6)
+}

@@ -1,0 +1,102 @@
+package aca
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dense"
+)
+
+func TestExactLowRankRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, r := range []int{1, 2, 5} {
+		a := dense.RandomLowRank(rng, 30, 24, r)
+		res := Compress(a, 1e-7, 0)
+		if res.Rank() > r+2 {
+			t.Errorf("rank-%d matrix compressed to rank %d", r, res.Rank())
+		}
+		if err := dense.RelError(res.Reconstruct(), a); err > 1e-4 {
+			t.Errorf("rank-%d reconstruction error %g", r, err)
+		}
+	}
+}
+
+func TestToleranceControlsAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := dense.RandomDecay(rng, 35, 35, 0.5)
+	prevRank := 0
+	for _, tol := range []float64{1e-1, 1e-3, 1e-5} {
+		res := Compress(a, tol, 0)
+		err := dense.RelError(res.Reconstruct(), a)
+		// ACA's error estimator is heuristic; allow generous headroom
+		if err > 100*tol {
+			t.Errorf("tol=%g: error %g", tol, err)
+		}
+		if res.Rank() < prevRank {
+			t.Errorf("tol=%g: rank %d shrank from %d", tol, res.Rank(), prevRank)
+		}
+		prevRank = res.Rank()
+	}
+}
+
+func TestMaxRankCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := dense.Random(rng, 20, 20)
+	res := Compress(a, 0, 4)
+	if res.Rank() > 4 {
+		t.Fatalf("maxRank=4 gave rank %d", res.Rank())
+	}
+}
+
+func TestZeroMatrix(t *testing.T) {
+	res := Compress(dense.New(5, 7), 1e-4, 0)
+	if res.Rank() != 1 {
+		t.Fatalf("zero matrix rank %d", res.Rank())
+	}
+	if res.Reconstruct().FrobNorm() != 0 {
+		t.Fatal("zero matrix reconstruction nonzero")
+	}
+	if res.U.Rows != 5 || res.V.Rows != 7 {
+		t.Fatal("factor shapes wrong")
+	}
+}
+
+func TestRankOneExact(t *testing.T) {
+	// outer product u vᴴ must be recovered exactly at rank 1
+	rng := rand.New(rand.NewSource(4))
+	u := dense.Random(rng, 12, 1)
+	v := dense.Random(rng, 9, 1)
+	a := dense.Mul(u, v.ConjTranspose())
+	res := Compress(a, 1e-8, 0)
+	if res.Rank() != 1 {
+		t.Fatalf("rank-1 outer product found rank %d", res.Rank())
+	}
+	if err := dense.RelError(res.Reconstruct(), a); err > 1e-5 {
+		t.Errorf("rank-1 error %g", err)
+	}
+}
+
+func TestPropertyLowRankCompression(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 8 + rng.Intn(25)
+		n := 8 + rng.Intn(25)
+		r := 1 + rng.Intn(4)
+		a := dense.RandomLowRank(rng, m, n, r)
+		res := Compress(a, 1e-6, 0)
+		return dense.RelError(res.Reconstruct(), a) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkACATile70(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := dense.RandomDecay(rng, 70, 70, 0.7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Compress(a, 1e-4, 0)
+	}
+}

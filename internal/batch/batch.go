@@ -1,0 +1,175 @@
+// Package batch is a variable-size batched-MVM execution engine — the
+// capability the paper finds missing from vendor libraries ("the current
+// NVIDIA and AMD software ecosystems do not provide support for batched
+// execution required to effectively launch TLR-MVM with complex precisions
+// and variable ranks", §4). A batch collects many independent complex
+// MVMs of heterogeneous shapes; the engine groups them into size classes,
+// schedules the classes over a worker pool largest-first (LPT scheduling,
+// which bounds load imbalance), and executes each MVM either natively in
+// complex arithmetic or as four real MVMs (the §6.6 decomposition).
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cfloat"
+)
+
+// Op selects how each MVM applies its matrix.
+type Op int
+
+const (
+	// OpN computes y = A x.
+	OpN Op = iota
+	// OpC computes y = Aᴴ x.
+	OpC
+)
+
+// MVM is one batch member: y ← alpha·op(A)·x + beta·y with A m×n
+// column-major at stride lda.
+type MVM struct {
+	Oper  Op
+	M, N  int
+	Alpha complex64
+	A     []complex64
+	LDA   int
+	X     []complex64
+	Beta  complex64
+	Y     []complex64
+}
+
+// work returns the fmac count, the scheduling weight.
+func (t MVM) work() int64 { return int64(t.M) * int64(t.N) }
+
+func (t MVM) validate(i int) error {
+	if t.M <= 0 || t.N <= 0 {
+		return fmt.Errorf("batch: MVM %d has dimensions %dx%d", i, t.M, t.N)
+	}
+	if t.LDA < t.M {
+		return fmt.Errorf("batch: MVM %d has lda %d < m %d", i, t.LDA, t.M)
+	}
+	if len(t.A) < t.LDA*(t.N-1)+t.M {
+		return fmt.Errorf("batch: MVM %d matrix buffer too short", i)
+	}
+	xin, yout := t.N, t.M
+	if t.Oper == OpC {
+		xin, yout = t.M, t.N
+	}
+	if len(t.X) < xin {
+		return fmt.Errorf("batch: MVM %d x too short (%d < %d)", i, len(t.X), xin)
+	}
+	if len(t.Y) < yout {
+		return fmt.Errorf("batch: MVM %d y too short (%d < %d)", i, len(t.Y), yout)
+	}
+	return nil
+}
+
+// Options configures execution.
+type Options struct {
+	// Workers bounds the parallelism (0 = GOMAXPROCS).
+	Workers int
+	// FourReal executes each complex MVM as four real MVMs on split
+	// real/imaginary planes, as the CS-2 kernel must (§6.6). Only OpN
+	// members support it; the engine falls back to native complex for OpC.
+	FourReal bool
+	// MinParallelWork is the fmac count below which the whole batch runs
+	// on the caller's goroutine (default 4096).
+	MinParallelWork int64
+}
+
+// Run executes every MVM of the batch. Members must write to disjoint Y
+// slices (the usual TLR-MVM batches do: one output segment per tile).
+func Run(tasks []MVM, opts Options) error {
+	var total int64
+	for i := range tasks {
+		if err := tasks[i].validate(i); err != nil {
+			return err
+		}
+		total += tasks[i].work()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	minWork := opts.MinParallelWork
+	if minWork == 0 {
+		minWork = 4096
+	}
+	if workers == 1 || total < minWork || len(tasks) == 1 {
+		for i := range tasks {
+			execute(&tasks[i], opts.FourReal)
+		}
+		return nil
+	}
+	// LPT schedule: largest tasks first over a shared index queue keeps
+	// the tail short without a bin-packing pass
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return tasks[order[a]].work() > tasks[order[b]].work()
+	})
+	next := make(chan int, len(order))
+	for _, i := range order {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < min(workers, len(tasks)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				execute(&tasks[i], opts.FourReal)
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+func execute(t *MVM, fourReal bool) {
+	if fourReal && t.Oper == OpN && t.Beta == 0 && t.Alpha == 1 && t.LDA == t.M {
+		runFourReal(t)
+		return
+	}
+	var tr cfloat.Trans
+	if t.Oper == OpC {
+		tr = cfloat.ConjTrans
+	}
+	cfloat.Gemv(tr, t.M, t.N, t.Alpha, t.A, t.LDA, t.X, t.Beta, t.Y)
+}
+
+// runFourReal splits the operands and performs the §6.6 four-real-MVM
+// decomposition.
+func runFourReal(t *MVM) {
+	mn := t.M * t.N
+	ar := make([]float32, mn)
+	ai := make([]float32, mn)
+	cfloat.SplitReIm(t.A[:mn], ar, ai)
+	cfloat.ComplexMVMViaFourReal(t.M, t.N, ar, ai, t.M, t.X, t.Y)
+}
+
+// SizeClasses groups the batch members by (m, n) shape, reporting how
+// irregular the batch is — the variable-rank irregularity that defeats
+// fixed-shape vendor batching.
+func SizeClasses(tasks []MVM) map[[2]int]int {
+	out := make(map[[2]int]int)
+	for _, t := range tasks {
+		out[[2]int{t.M, t.N}]++
+	}
+	return out
+}
+
+// TotalWork returns the aggregate fmac count.
+func TotalWork(tasks []MVM) int64 {
+	var w int64
+	for _, t := range tasks {
+		w += t.work()
+	}
+	return w
+}

@@ -1,0 +1,214 @@
+package batch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cfloat"
+	"repro/internal/dense"
+)
+
+// buildBatch makes n independent MVMs with variable shapes, returning the
+// tasks plus reference outputs computed directly.
+func buildBatch(rng *rand.Rand, n int, op Op) ([]MVM, [][]complex64) {
+	tasks := make([]MVM, n)
+	refs := make([][]complex64, n)
+	for i := range tasks {
+		m := 1 + rng.Intn(40)
+		nn := 1 + rng.Intn(40)
+		a := dense.Random(rng, m, nn)
+		xin, yout := nn, m
+		if op == OpC {
+			xin, yout = m, nn
+		}
+		x := dense.Random(rng, xin, 1).Data
+		tasks[i] = MVM{
+			Oper: op, M: m, N: nn, Alpha: 1,
+			A: a.Data, LDA: m, X: x, Y: make([]complex64, yout),
+		}
+		ref := make([]complex64, yout)
+		if op == OpC {
+			a.MulVecConjTrans(x, ref)
+		} else {
+			a.MulVec(x, ref)
+		}
+		refs[i] = ref
+	}
+	return tasks, refs
+}
+
+func checkAgainst(t *testing.T, tasks []MVM, refs [][]complex64, tol float64) {
+	t.Helper()
+	for i := range tasks {
+		diff := make([]complex64, len(refs[i]))
+		for j := range diff {
+			diff[j] = tasks[i].Y[j] - refs[i][j]
+		}
+		if rel := cfloat.Nrm2(diff) / (1 + cfloat.Nrm2(refs[i])); rel > tol {
+			t.Fatalf("task %d: error %g", i, rel)
+		}
+	}
+}
+
+func TestRunMatchesDirectGemv(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tasks, refs := buildBatch(rng, 50, OpN)
+	if err := Run(tasks, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainst(t, tasks, refs, 1e-5)
+}
+
+func TestRunAdjointBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tasks, refs := buildBatch(rng, 30, OpC)
+	if err := Run(tasks, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainst(t, tasks, refs, 1e-5)
+}
+
+func TestFourRealDecompositionMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tasks, refs := buildBatch(rng, 40, OpN)
+	if err := Run(tasks, Options{Workers: 4, FourReal: true}); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainst(t, tasks, refs, 1e-4)
+}
+
+func TestSerialFallbackSmallBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tasks, refs := buildBatch(rng, 3, OpN)
+	// force the serial path with a huge MinParallelWork
+	if err := Run(tasks, Options{Workers: 8, MinParallelWork: 1 << 40}); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainst(t, tasks, refs, 1e-5)
+}
+
+func TestAlphaBeta(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, n := 6, 4
+	a := dense.Random(rng, m, n)
+	x := dense.Random(rng, n, 1).Data
+	y0 := dense.Random(rng, m, 1).Data
+	y := append([]complex64(nil), y0...)
+	task := MVM{Oper: OpN, M: m, N: n, Alpha: 2i, A: a.Data, LDA: m, X: x, Beta: 0.5, Y: y}
+	if err := Run([]MVM{task}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ref := make([]complex64, m)
+	a.MulVec(x, ref)
+	for i := range ref {
+		want := 2i*ref[i] + 0.5*y0[i]
+		d := y[i] - want
+		if math.Hypot(float64(real(d)), float64(imag(d))) > 1e-4*(1+math.Hypot(float64(real(want)), float64(imag(want)))) {
+			t.Fatalf("alpha/beta at %d: %v vs %v", i, y[i], want)
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	good := MVM{Oper: OpN, M: 2, N: 2, Alpha: 1, A: make([]complex64, 4), LDA: 2,
+		X: make([]complex64, 2), Y: make([]complex64, 2)}
+	cases := []func(MVM) MVM{
+		func(m MVM) MVM { m.M = 0; return m },
+		func(m MVM) MVM { m.LDA = 1; return m },
+		func(m MVM) MVM { m.A = m.A[:2]; return m },
+		func(m MVM) MVM { m.X = m.X[:1]; return m },
+		func(m MVM) MVM { m.Y = nil; return m },
+	}
+	for i, mut := range cases {
+		if err := Run([]MVM{mut(good)}, Options{}); err == nil {
+			t.Errorf("case %d: invalid MVM accepted", i)
+		}
+	}
+}
+
+func TestSizeClassesAndWork(t *testing.T) {
+	tasks := []MVM{
+		{M: 4, N: 8}, {M: 4, N: 8}, {M: 2, N: 3},
+	}
+	classes := SizeClasses(tasks)
+	if classes[[2]int{4, 8}] != 2 || classes[[2]int{2, 3}] != 1 {
+		t.Errorf("classes %v", classes)
+	}
+	if TotalWork(tasks) != 4*8+4*8+2*3 {
+		t.Error("TotalWork wrong")
+	}
+}
+
+func TestPropertyParallelEqualsSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		tasks, _ := buildBatch(rng, n, OpN)
+		// clone the batch sharing A/X but with fresh outputs
+		tasksS := make([]MVM, n)
+		copy(tasksS, tasks)
+		for i := range tasksS {
+			tasksS[i].Y = make([]complex64, len(tasks[i].Y))
+		}
+		if err := Run(tasksS, Options{Workers: 1}); err != nil {
+			return false
+		}
+		if err := Run(tasks, Options{Workers: 8, MinParallelWork: 1}); err != nil {
+			return false
+		}
+		for i := range tasks {
+			for j := range tasks[i].Y {
+				if tasks[i].Y[j] != tasksS[i].Y[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBatch256VariableRank(b *testing.B) {
+	// a TLR-like batch: 256 MVMs with ranks 1..16 against nb=48 tiles
+	rng := rand.New(rand.NewSource(1))
+	var tasks []MVM
+	for i := 0; i < 256; i++ {
+		k := 1 + rng.Intn(16)
+		a := dense.Random(rng, 48, k)
+		tasks = append(tasks, MVM{
+			Oper: OpN, M: 48, N: k, Alpha: 1, A: a.Data, LDA: 48,
+			X: dense.Random(rng, k, 1).Data, Y: make([]complex64, 48),
+		})
+	}
+	b.SetBytes(8 * TotalWork(tasks))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Run(tasks, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatch256Serial(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var tasks []MVM
+	for i := 0; i < 256; i++ {
+		k := 1 + rng.Intn(16)
+		a := dense.Random(rng, 48, k)
+		tasks = append(tasks, MVM{
+			Oper: OpN, M: 48, N: k, Alpha: 1, A: a.Data, LDA: 48,
+			X: dense.Random(rng, k, 1).Data, Y: make([]complex64, 48),
+		})
+	}
+	b.SetBytes(8 * TotalWork(tasks))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Run(tasks, Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

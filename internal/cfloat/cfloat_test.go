@@ -1,0 +1,505 @@
+package cfloat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand, n int) []complex64 {
+	v := make([]complex64, n)
+	for i := range v {
+		v[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+	}
+	return v
+}
+
+func randMat(rng *rand.Rand, m, n int) []complex64 {
+	return randVec(rng, m*n)
+}
+
+func cAbs(v complex64) float64 {
+	return math.Hypot(float64(real(v)), float64(imag(v)))
+}
+
+func TestAxpy(t *testing.T) {
+	x := []complex64{1, 2i, 3 + 4i}
+	y := []complex64{1, 1, 1}
+	Axpy(2, x, y)
+	want := []complex64{3, 1 + 4i, 7 + 8i}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestAxpyZeroAlphaNoop(t *testing.T) {
+	x := []complex64{5, 6}
+	y := []complex64{1, 2}
+	Axpy(0, x, y)
+	if y[0] != 1 || y[1] != 2 {
+		t.Errorf("Axpy(0,..) changed y: %v", y)
+	}
+}
+
+func TestAxpyLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Axpy(1, make([]complex64, 2), make([]complex64, 3))
+}
+
+func TestScal(t *testing.T) {
+	x := []complex64{1 + 1i, 2}
+	Scal(2i, x)
+	if x[0] != complex64(-2+2i) || x[1] != complex64(4i) {
+		t.Errorf("Scal result %v", x)
+	}
+}
+
+func TestDotcConjugatesFirstArgument(t *testing.T) {
+	x := []complex64{1i}
+	y := []complex64{1i}
+	// conj(i)*i = -i*i = 1
+	if got := Dotc(x, y); got != 1 {
+		t.Errorf("Dotc = %v, want 1", got)
+	}
+	if got := Dotu(x, y); got != -1 {
+		t.Errorf("Dotu = %v, want -1", got)
+	}
+}
+
+func TestDotcHermitianSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randVec(rng, 57)
+	y := randVec(rng, 57)
+	a := Dotc(x, y)
+	b := Dotc(y, x)
+	// Dotc(x,y) == conj(Dotc(y,x))
+	if cAbs(a-complex(real(b), -imag(b))) > 1e-4*cAbs(a) {
+		t.Errorf("Hermitian symmetry violated: %v vs %v", a, b)
+	}
+}
+
+func TestNrm2MatchesDotc(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randVec(rng, 101)
+	n := Nrm2(x)
+	d := Dotc(x, x)
+	if math.Abs(n*n-float64(real(d))) > 1e-3*n*n {
+		t.Errorf("Nrm2²=%v vs Dotc=%v", n*n, real(d))
+	}
+	if math.Abs(float64(imag(d))) > 1e-3*n*n {
+		t.Errorf("Dotc(x,x) has imaginary part %v", imag(d))
+	}
+}
+
+func TestNrm2Empty(t *testing.T) {
+	if Nrm2(nil) != 0 {
+		t.Error("Nrm2(nil) != 0")
+	}
+}
+
+func TestIAmax(t *testing.T) {
+	if IAmax(nil) != -1 {
+		t.Error("IAmax(nil) != -1")
+	}
+	x := []complex64{1, 3 + 4i, 2}
+	if got := IAmax(x); got != 1 {
+		t.Errorf("IAmax = %d, want 1", got)
+	}
+}
+
+func TestConjInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randVec(rng, 33)
+	orig := append([]complex64(nil), x...)
+	Conj(x)
+	Conj(x)
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatalf("Conj∘Conj not identity at %d", i)
+		}
+	}
+}
+
+// reference dense gemv in complex128 for comparison
+func refGemv(t Trans, m, n int, a []complex64, lda int, x []complex64) []complex64 {
+	var rows, cols int
+	switch t {
+	case NoTrans:
+		rows, cols = m, n
+	default:
+		rows, cols = n, m
+	}
+	y := make([]complex64, rows)
+	for i := 0; i < rows; i++ {
+		var acc complex128
+		for j := 0; j < cols; j++ {
+			var aij complex64
+			switch t {
+			case NoTrans:
+				aij = a[j*lda+i]
+			case Transpose:
+				aij = a[i*lda+j]
+			case ConjTrans:
+				v := a[i*lda+j]
+				aij = complex(real(v), -imag(v))
+			}
+			acc += complex128(aij) * complex128(x[j])
+		}
+		y[i] = complex64(acc)
+	}
+	return y
+}
+
+func TestGemvAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, tr := range []Trans{NoTrans, Transpose, ConjTrans} {
+		for _, dims := range [][2]int{{1, 1}, {3, 7}, {16, 16}, {70, 25}, {25, 70}} {
+			m, n := dims[0], dims[1]
+			a := randMat(rng, m, n)
+			xin := n
+			if tr != NoTrans {
+				xin = m
+			}
+			x := randVec(rng, xin)
+			yout := m
+			if tr != NoTrans {
+				yout = n
+			}
+			y := make([]complex64, yout)
+			Gemv(tr, m, n, 1, a, m, x, 0, y)
+			want := refGemv(tr, m, n, a, m, x)
+			for i := range y {
+				if cAbs(y[i]-want[i]) > 1e-3*(1+cAbs(want[i])) {
+					t.Fatalf("%v %dx%d: y[%d]=%v want %v", tr, m, n, i, y[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGemvAlphaBeta(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, n := 9, 5
+	a := randMat(rng, m, n)
+	x := randVec(rng, n)
+	y0 := randVec(rng, m)
+	y := append([]complex64(nil), y0...)
+	alpha, beta := complex64(2-1i), complex64(0.5i)
+	Gemv(NoTrans, m, n, alpha, a, m, x, beta, y)
+	ref := refGemv(NoTrans, m, n, a, m, x)
+	for i := range y {
+		want := alpha*ref[i] + beta*y0[i]
+		if cAbs(y[i]-want) > 1e-3*(1+cAbs(want)) {
+			t.Fatalf("alpha/beta: y[%d]=%v want %v", i, y[i], want)
+		}
+	}
+}
+
+func TestGemvLeadingDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m, n, lda := 4, 3, 7
+	a := randMat(rng, lda, n)
+	x := randVec(rng, n)
+	y := make([]complex64, m)
+	Gemv(NoTrans, m, n, 1, a, lda, x, 0, y)
+	for i := 0; i < m; i++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			acc += complex128(a[j*lda+i]) * complex128(x[j])
+		}
+		if cAbs(y[i]-complex64(acc)) > 1e-3*(1+cAbs(complex64(acc))) {
+			t.Fatalf("lda: y[%d]=%v want %v", i, y[i], acc)
+		}
+	}
+}
+
+func TestGemmAgainstGemv(t *testing.T) {
+	// C = A*B column by column must equal Gemv of each column of B.
+	rng := rand.New(rand.NewSource(7))
+	m, k, n := 8, 6, 4
+	a := randMat(rng, m, k)
+	b := randMat(rng, k, n)
+	c := make([]complex64, m*n)
+	Gemm(NoTrans, NoTrans, m, n, k, 1, a, m, b, k, 0, c, m)
+	for j := 0; j < n; j++ {
+		y := make([]complex64, m)
+		Gemv(NoTrans, m, k, 1, a, m, b[j*k:(j+1)*k], 0, y)
+		for i := 0; i < m; i++ {
+			if cAbs(c[j*m+i]-y[i]) > 1e-3*(1+cAbs(y[i])) {
+				t.Fatalf("Gemm vs Gemv at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGemmConjTransIsHermitianAdjoint(t *testing.T) {
+	// (Aᴴ A) must be Hermitian with nonnegative real diagonal.
+	rng := rand.New(rand.NewSource(8))
+	m, n := 12, 5
+	a := randMat(rng, m, n)
+	c := make([]complex64, n*n)
+	Gemm(ConjTrans, NoTrans, n, n, m, 1, a, m, a, m, 0, c, n)
+	for i := 0; i < n; i++ {
+		if real(c[i*n+i]) < 0 || math.Abs(float64(imag(c[i*n+i]))) > 1e-3 {
+			t.Errorf("diagonal %d = %v not real nonneg", i, c[i*n+i])
+		}
+		for j := 0; j < n; j++ {
+			cij := c[j*n+i]
+			cji := c[i*n+j]
+			if cAbs(cij-complex(real(cji), -imag(cji))) > 1e-3*(1+cAbs(cij)) {
+				t.Fatalf("not Hermitian at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGemmTransposeComposition(t *testing.T) {
+	// (A B)ᵀ = Bᵀ Aᵀ
+	rng := rand.New(rand.NewSource(9))
+	m, k, n := 5, 7, 6
+	a := randMat(rng, m, k)
+	b := randMat(rng, k, n)
+	ab := make([]complex64, m*n)
+	Gemm(NoTrans, NoTrans, m, n, k, 1, a, m, b, k, 0, ab, m)
+	btat := make([]complex64, n*m)
+	Gemm(Transpose, Transpose, n, m, k, 1, b, k, a, m, 0, btat, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if cAbs(ab[j*m+i]-btat[i*n+j]) > 1e-3*(1+cAbs(ab[j*m+i])) {
+				t.Fatalf("(AB)ᵀ != BᵀAᵀ at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSplitMergeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := randVec(rng, 41)
+	re := make([]float32, len(x))
+	im := make([]float32, len(x))
+	SplitReIm(x, re, im)
+	back := make([]complex64, len(x))
+	MergeReIm(re, im, back)
+	for i := range x {
+		if back[i] != x[i] {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+}
+
+func TestComplexMVMViaFourRealMatchesGemv(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dims := range [][2]int{{1, 1}, {7, 3}, {70, 25}, {32, 64}} {
+		m, n := dims[0], dims[1]
+		a := randMat(rng, m, n)
+		ar := make([]float32, m*n)
+		ai := make([]float32, m*n)
+		SplitReIm(a, ar, ai)
+		x := randVec(rng, n)
+		y1 := make([]complex64, m)
+		Gemv(NoTrans, m, n, 1, a, m, x, 0, y1)
+		y2 := make([]complex64, m)
+		ComplexMVMViaFourReal(m, n, ar, ai, m, x, y2)
+		for i := range y1 {
+			if cAbs(y1[i]-y2[i]) > 1e-3*(1+cAbs(y1[i])) {
+				t.Fatalf("%dx%d four-real mismatch at %d: %v vs %v", m, n, i, y1[i], y2[i])
+			}
+		}
+	}
+}
+
+func TestTransString(t *testing.T) {
+	if NoTrans.String() != "N" || Transpose.String() != "T" || ConjTrans.String() != "C" {
+		t.Error("Trans.String broken")
+	}
+	if Trans(99).String() != "?" {
+		t.Error("unknown Trans should print ?")
+	}
+}
+
+// Property: Gemv is linear in x.
+func TestGemvLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m, n := 10, 8
+	a := randMat(rng, m, n)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x1 := randVec(r, n)
+		x2 := randVec(r, n)
+		sum := make([]complex64, n)
+		for i := range sum {
+			sum[i] = x1[i] + x2[i]
+		}
+		y1 := make([]complex64, m)
+		y2 := make([]complex64, m)
+		ys := make([]complex64, m)
+		Gemv(NoTrans, m, n, 1, a, m, x1, 0, y1)
+		Gemv(NoTrans, m, n, 1, a, m, x2, 0, y2)
+		Gemv(NoTrans, m, n, 1, a, m, sum, 0, ys)
+		for i := 0; i < m; i++ {
+			if cAbs(ys[i]-(y1[i]+y2[i])) > 1e-2*(1+cAbs(ys[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ⟨A x, y⟩ = ⟨x, Aᴴ y⟩ (adjoint identity), the invariant LSQR
+// and the MDC operator rely on.
+func TestGemvAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 3 + r.Intn(20)
+		n := 3 + r.Intn(20)
+		a := randMat(r, m, n)
+		x := randVec(r, n)
+		y := randVec(r, m)
+		ax := make([]complex64, m)
+		Gemv(NoTrans, m, n, 1, a, m, x, 0, ax)
+		aty := make([]complex64, n)
+		Gemv(ConjTrans, m, n, 1, a, m, y, 0, aty)
+		lhs := Dotc(y, ax)  // ⟨y, Ax⟩
+		rhs := Dotc(aty, x) // ⟨Aᴴy, x⟩
+		return cAbs(lhs-rhs) < 1e-2*(1+cAbs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGemvNoTrans256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m, n := 256, 256
+	a := randMat(rng, m, n)
+	x := randVec(rng, n)
+	y := make([]complex64, m)
+	b.SetBytes(int64(8 * m * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemv(NoTrans, m, n, 1, a, m, x, 0, y)
+	}
+}
+
+func BenchmarkComplexMVMViaFourReal256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m, n := 256, 256
+	a := randMat(rng, m, n)
+	ar := make([]float32, m*n)
+	ai := make([]float32, m*n)
+	SplitReIm(a, ar, ai)
+	x := randVec(rng, n)
+	y := make([]complex64, m)
+	b.SetBytes(int64(8 * m * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComplexMVMViaFourReal(m, n, ar, ai, m, x, y)
+	}
+}
+
+func TestGemmGenericFallbackPaths(t *testing.T) {
+	// Transpose operands exercise the closure-based generic path
+	rng := rand.New(rand.NewSource(13))
+	m, k, n := 5, 6, 4
+	a := randMat(rng, k, m) // used as Aᵀ (m×k)
+	b := randMat(rng, n, k) // used as Bᵀ (k×n)
+	c := make([]complex64, m*n)
+	Gemm(Transpose, Transpose, m, n, k, 1, a, k, b, n, 0, c, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var want complex128
+			for l := 0; l < k; l++ {
+				want += complex128(a[i*k+l]) * complex128(b[l*n+j])
+			}
+			if cAbs(c[j*m+i]-complex64(want)) > 1e-3*(1+cAbs(complex64(want))) {
+				t.Fatalf("TT path at (%d,%d)", i, j)
+			}
+		}
+	}
+	// ConjTrans on B exercises the getter with conjugation
+	c2 := make([]complex64, m*n)
+	bh := randMat(rng, n, k) // used as Bᴴ (k×n)
+	Gemm(Transpose, ConjTrans, m, n, k, 1, a, k, bh, n, 0, c2, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var want complex128
+			for l := 0; l < k; l++ {
+				v := bh[l*n+j]
+				want += complex128(a[i*k+l]) * complex128(complex(real(v), -imag(v)))
+			}
+			if cAbs(c2[j*m+i]-complex64(want)) > 1e-3*(1+cAbs(complex64(want))) {
+				t.Fatalf("TC path at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGemmBetaPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	m, k, n := 4, 3, 4
+	a := randMat(rng, m, k)
+	b := randMat(rng, k, n)
+	c0 := randMat(rng, m, n)
+	// beta = 1 accumulates
+	c := append([]complex64(nil), c0...)
+	Gemm(NoTrans, NoTrans, m, n, k, 1, a, m, b, k, 1, c, m)
+	ab := make([]complex64, m*n)
+	Gemm(NoTrans, NoTrans, m, n, k, 1, a, m, b, k, 0, ab, m)
+	for i := range c {
+		if cAbs(c[i]-(c0[i]+ab[i])) > 1e-3*(1+cAbs(c[i])) {
+			t.Fatalf("beta=1 at %d", i)
+		}
+	}
+	// beta = 2i scales
+	c2 := append([]complex64(nil), c0...)
+	Gemm(NoTrans, NoTrans, m, n, k, 0, a, m, b, k, 2i, c2, m)
+	for i := range c2 {
+		if cAbs(c2[i]-2i*c0[i]) > 1e-4*(1+cAbs(c2[i])) {
+			t.Fatalf("beta=2i at %d", i)
+		}
+	}
+}
+
+func TestGemvPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"badDims":  func() { Gemv(NoTrans, -1, 2, 1, nil, 1, nil, 0, nil) },
+		"shortVec": func() { Gemv(NoTrans, 2, 2, 1, make([]complex64, 4), 2, make([]complex64, 1), 0, make([]complex64, 2)) },
+		"shortOutT": func() {
+			Gemv(ConjTrans, 2, 2, 1, make([]complex64, 4), 2, make([]complex64, 2), 0, make([]complex64, 1))
+		},
+		"badTrans": func() {
+			Gemv(Trans(9), 2, 2, 1, make([]complex64, 4), 2, make([]complex64, 2), 0, make([]complex64, 2))
+		},
+		"gemmDims": func() { Gemm(NoTrans, NoTrans, -1, 1, 1, 1, nil, 1, nil, 1, 0, nil, 1) },
+		"realGemv": func() { RealGemv(2, 2, make([]float32, 4), 1, make([]float32, 2), make([]float32, 2)) },
+		"split":    func() { SplitReIm(make([]complex64, 2), make([]float32, 1), make([]float32, 2)) },
+		"merge":    func() { MergeReIm(make([]float32, 1), make([]float32, 2), make([]complex64, 2)) },
+		"copy":     func() { Copy(make([]complex64, 1), make([]complex64, 2)) },
+		"dotu":     func() { Dotu(make([]complex64, 1), make([]complex64, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAsum(t *testing.T) {
+	if Asum([]complex64{3 + 4i, -1 - 1i}) != 9 {
+		t.Error("Asum wrong")
+	}
+}

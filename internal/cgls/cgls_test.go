@@ -1,0 +1,150 @@
+package cgls
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfloat"
+	"repro/internal/dense"
+	"repro/internal/lsqr"
+)
+
+func denseOp(a *dense.Matrix) *lsqr.MatOperator {
+	return &lsqr.MatOperator{
+		M:   a.Rows,
+		N:   a.Cols,
+		Fwd: func(x, y []complex64) { a.MulVec(x, y) },
+		Adj: func(x, y []complex64) { a.MulVecConjTrans(x, y) },
+	}
+}
+
+func relErr(got, want []complex64) float64 {
+	d := make([]complex64, len(got))
+	for i := range d {
+		d[i] = got[i] - want[i]
+	}
+	nw := cfloat.Nrm2(want)
+	if nw == 0 {
+		return cfloat.Nrm2(d)
+	}
+	return cfloat.Nrm2(d) / nw
+}
+
+func TestSolveConsistentSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, n := 40, 12
+	a := dense.Random(rng, m, n)
+	xTrue := dense.Random(rng, n, 1).Data
+	b := make([]complex64, m)
+	a.MulVec(xTrue, b)
+	res, err := Solve(denseOp(a), b, Options{MaxIters: 100, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(res.X, xTrue); e > 1e-3 {
+		t.Errorf("solve error %g after %d iters", e, res.Iters)
+	}
+	if !res.Converged {
+		t.Error("did not converge on a consistent system")
+	}
+}
+
+func TestAgreesWithLSQR(t *testing.T) {
+	// CGLS and LSQR build the same Krylov iterates: after the same number
+	// of iterations on a well-conditioned system the solutions must agree
+	rng := rand.New(rand.NewSource(2))
+	m, n := 30, 30
+	a := dense.Random(rng, m, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+6)
+	}
+	b := dense.Random(rng, m, 1).Data
+	iters := 12
+	rc, err := Solve(denseOp(a), b, Options{MaxIters: iters, Tol: 1e-16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := lsqr.Solve(denseOp(a), b, lsqr.Options{MaxIters: iters, ATol: 1e-16, BTol: 1e-16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(rc.X, rl.X); e > 1e-2 {
+		t.Errorf("CGLS and LSQR diverge: %g", e)
+	}
+}
+
+func TestResidualMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := dense.Random(rng, 50, 20)
+	b := dense.Random(rng, 50, 1).Data
+	res, err := Solve(denseOp(a), b, Options{MaxIters: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.ResidualHistory); i++ {
+		if res.ResidualHistory[i] > res.ResidualHistory[i-1]*(1+1e-5) {
+			t.Fatalf("residual increased at iter %d", i)
+		}
+	}
+}
+
+func TestDampingShrinksSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := dense.Random(rng, 25, 25)
+	b := dense.Random(rng, 25, 1).Data
+	r0, err := Solve(denseOp(a), b, Options{MaxIters: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Solve(denseOp(a), b, Options{MaxIters: 50, Damp: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfloat.Nrm2(rd.X) >= cfloat.Nrm2(r0.X) {
+		t.Error("damping did not shrink the solution")
+	}
+}
+
+func TestZeroRHS(t *testing.T) {
+	a := dense.Eye(5)
+	res, err := Solve(denseOp(a), make([]complex64, 5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || cfloat.Nrm2(res.X) != 0 {
+		t.Error("zero rhs should converge to zero immediately")
+	}
+}
+
+func TestRHSMismatch(t *testing.T) {
+	a := dense.Eye(5)
+	if _, err := Solve(denseOp(a), make([]complex64, 3), Options{}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestNormalResidualReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := dense.Random(rng, 20, 8)
+	b := dense.Random(rng, 20, 1).Data
+	res, err := Solve(denseOp(a), b, Options{MaxIters: 60, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// at the LS solution the normal-equations residual is near zero
+	if math.IsNaN(res.NormalResidual) || res.NormalResidual > 1e-3*cfloat.Nrm2(b) {
+		t.Errorf("normal residual %g", res.NormalResidual)
+	}
+}
+
+func BenchmarkSolve30Iters(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := dense.Random(rng, 128, 128)
+	rhs := dense.Random(rng, 128, 1).Data
+	op := denseOp(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Solve(op, rhs, Options{MaxIters: 30, Tol: 1e-16})
+	}
+}

@@ -1,0 +1,231 @@
+// Package core is the public façade of the reproduction: it wires the
+// synthetic seismic dataset, space-filling-curve reordering, TLR
+// compression, the MDC operator, and LSQR-based MDD into one pipeline
+// (the laptop-scale end-to-end path), and exposes the CS-2 machine-model
+// experiments that regenerate the paper's performance tables at full
+// paper scale.
+//
+// Typical end-to-end use:
+//
+//	pipe, err := core.BuildPipeline(core.PipelineOptions{
+//	    TileSize: 8, Accuracy: 1e-4,
+//	})
+//	rep, err := pipe.RunMDD(vs, 30)
+//
+// Paper-scale use:
+//
+//	m, err := core.RunCS2Experiment(core.CS2Options{
+//	    NB: 70, Acc: 1e-4, StackWidth: 23, Systems: 48,
+//	    Strategy: wse.Strategy2,
+//	})
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cs2"
+	"repro/internal/lsqr"
+	"repro/internal/mdc"
+	"repro/internal/mdd"
+	"repro/internal/ranks"
+	"repro/internal/seismic"
+	"repro/internal/sfc"
+	"repro/internal/tlr"
+	"repro/internal/wse"
+)
+
+// PipelineOptions configures the laptop-scale MDD pipeline.
+type PipelineOptions struct {
+	// Dataset controls the synthetic survey (zero value = defaults:
+	// 12×8 sources, 10×6 receivers, 256 samples at 4 ms, 45 Hz band).
+	Dataset seismic.Options
+	// Ordering selects the row/column reordering before compression
+	// (default Hilbert, the paper's choice).
+	Ordering sfc.Order
+	// UseHilbert is implied by Ordering; set Dense to skip compression
+	// and run MDD against the dense kernel (the baseline).
+	Dense bool
+	// TileSize is the TLR tile size nb (default 8 at laptop scale).
+	TileSize int
+	// Accuracy is the tile tolerance acc (default 1e-4).
+	Accuracy float64
+	// Method selects the tile compressor (default SVD).
+	Method tlr.Method
+	// Seed feeds the RSVD sketches when Method is MethodRSVD.
+	Seed int64
+}
+
+// Pipeline holds a generated dataset and its (compressed) kernel, ready
+// for MDD inversions.
+type Pipeline struct {
+	DS        *seismic.Dataset
+	Orderings *seismic.Orderings
+	Problem   *mdd.Problem
+	// DenseBytes and CompressedBytes describe the kernel footprint.
+	DenseBytes      int64
+	CompressedBytes int64
+}
+
+// CompressionRatio returns dense/compressed kernel size.
+func (p *Pipeline) CompressionRatio() float64 {
+	if p.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(p.DenseBytes) / float64(p.CompressedBytes)
+}
+
+// BuildPipeline generates the dataset, reorders it, compresses the kernel,
+// and returns a ready MDD problem.
+func BuildPipeline(opts PipelineOptions) (*Pipeline, error) {
+	ds, err := seismic.Generate(opts.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("core: generating dataset: %w", err)
+	}
+	if opts.Ordering == sfc.Natural && !opts.Dense {
+		opts.Ordering = sfc.Hilbert
+	}
+	rds, ord := ds.Reorder(opts.Ordering)
+	dk, err := mdc.NewDenseKernel(rds.K)
+	if err != nil {
+		return nil, err
+	}
+	pipe := &Pipeline{DS: rds, Orderings: ord, DenseBytes: dk.Bytes()}
+	var kernel mdc.Kernel = dk
+	if !opts.Dense {
+		nb := opts.TileSize
+		if nb == 0 {
+			nb = 8
+		}
+		acc := opts.Accuracy
+		if acc == 0 {
+			acc = 1e-4
+		}
+		var rng *rand.Rand
+		if opts.Method == tlr.MethodRSVD {
+			rng = rand.New(rand.NewSource(opts.Seed + 1))
+		}
+		tk, err := mdc.CompressKernel(dk, tlr.Options{
+			NB: nb, Tol: acc, Method: opts.Method, Rng: rng,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: compressing kernel: %w", err)
+		}
+		kernel = tk
+		pipe.CompressedBytes = tk.Bytes()
+	} else {
+		pipe.CompressedBytes = dk.Bytes()
+	}
+	prob, err := mdd.NewProblem(rds, kernel)
+	if err != nil {
+		return nil, err
+	}
+	pipe.Problem = prob
+	return pipe, nil
+}
+
+// MDDReport summarizes one virtual-source deconvolution.
+type MDDReport struct {
+	VS int
+	// InversionNMSE and AdjointNMSE compare against the ground truth
+	// (the adjoint is optimally scaled first).
+	InversionNMSE float64
+	AdjointNMSE   float64
+	// Iterations and FinalResidual report the LSQR run.
+	Iterations    int
+	FinalResidual float64
+	// Solution and Adjoint are the recovered frequency-domain panels.
+	Solution []complex64
+	Adjoint  []complex64
+}
+
+// RunMDD inverts one virtual source with `iters` LSQR iterations and
+// returns quality metrics against the ground truth.
+func (p *Pipeline) RunMDD(vs, iters int) (*MDDReport, error) {
+	if vs < 0 || vs >= p.DS.Geom.NumReceivers() {
+		return nil, fmt.Errorf("core: virtual source %d outside [0,%d)", vs, p.DS.Geom.NumReceivers())
+	}
+	sol, err := p.Problem.Invert(vs, lsqr.Options{MaxIters: iters})
+	if err != nil {
+		return nil, err
+	}
+	adj := p.Problem.Adjoint(vs)
+	truth := p.Problem.TrueReflectivity(vs)
+	return &MDDReport{
+		VS:            vs,
+		InversionNMSE: p.Problem.NMSEAgainstTruth(sol.X, vs),
+		AdjointNMSE:   seismic.NMSE(scaleToReference(adj, truth), truth),
+		Iterations:    sol.LSQR.Iters,
+		FinalResidual: sol.LSQR.ResidualNorm,
+		Solution:      sol.X,
+		Adjoint:       adj,
+	}, nil
+}
+
+// scaleToReference applies the least-squares optimal complex scalar to x
+// so that adjoint estimates (which carry the source-spectrum energy) are
+// compared fairly against the reference.
+func scaleToReference(x, ref []complex64) []complex64 {
+	var num, den complex128
+	for i := range x {
+		xc := complex128(x[i])
+		xcConj := complex128(complex(real(x[i]), -imag(x[i])))
+		num += xcConj * complex128(ref[i])
+		den += xcConj * xc
+	}
+	if den == 0 {
+		return x
+	}
+	a := complex64(num / den)
+	out := make([]complex64, len(x))
+	for i := range x {
+		out[i] = a * x[i]
+	}
+	return out
+}
+
+// CS2Options configures a paper-scale machine-model experiment.
+type CS2Options struct {
+	// NB and Acc select the Fig. 12 configuration.
+	NB  int
+	Acc float64
+	// StackWidth is the chunk height (0 = auto-fit to the system budget).
+	StackWidth int
+	// Systems is the shard count.
+	Systems int
+	// Strategy selects the strong-scaling strategy (default Strategy1).
+	Strategy wse.Strategy
+}
+
+// RunCS2Experiment evaluates one configuration of Tables 1–5 on the CS-2
+// machine model.
+func RunCS2Experiment(opts CS2Options) (*wse.Metrics, error) {
+	dist, err := ranks.New(ranks.Config{NB: opts.NB, Acc: opts.Acc})
+	if err != nil {
+		return nil, err
+	}
+	return RunCS2WithDistribution(dist, opts)
+}
+
+// RunCS2WithDistribution is RunCS2Experiment with a pre-calibrated rank
+// distribution (calibration takes ~1 s at paper scale; reuse it across
+// experiments).
+func RunCS2WithDistribution(dist *ranks.Distribution, opts CS2Options) (*wse.Metrics, error) {
+	arch := cs2.DefaultArch()
+	strategy := opts.Strategy
+	if strategy == 0 {
+		strategy = wse.Strategy1
+	}
+	sw := opts.StackWidth
+	if sw == 0 {
+		budget := int64(opts.Systems) * int64(arch.UsablePEs())
+		if strategy == wse.Strategy2 {
+			budget /= 8
+		}
+		sw = dist.StackWidthFor(budget)
+	}
+	return wse.Plan{
+		Dist: dist, Arch: arch,
+		StackWidth: sw, Systems: opts.Systems, Strategy: strategy,
+	}.Evaluate()
+}

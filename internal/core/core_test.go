@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ranks"
+	"repro/internal/seismic"
+	"repro/internal/sfc"
+	"repro/internal/tlr"
+	"repro/internal/wse"
+)
+
+func smallDataset() seismic.Options {
+	return seismic.Options{
+		Geom: seismic.Geometry{
+			NsX: 6, NsY: 4, NrX: 5, NrY: 3,
+			Dx: 20, Dy: 20, SrcDepth: 10, RecDepth: 300,
+		},
+		Nt: 128,
+		Dt: 0.004,
+	}
+}
+
+func TestBuildPipelineCompressed(t *testing.T) {
+	pipe, err := BuildPipeline(PipelineOptions{
+		Dataset: smallDataset(), TileSize: 4, Accuracy: 1e-4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.CompressedBytes == 0 || pipe.DenseBytes == 0 {
+		t.Error("footprints not recorded")
+	}
+	if pipe.Orderings.Order != sfc.Hilbert {
+		t.Error("default ordering should be Hilbert")
+	}
+}
+
+func TestDemoScaleCompressionBeatsDense(t *testing.T) {
+	// At demo scale the TLR kernel must be genuinely smaller than dense —
+	// the memory-footprint claim of the paper at laptop scale.
+	if testing.Short() {
+		t.Skip("demo-scale pipeline takes several seconds")
+	}
+	pipe, err := BuildPipeline(PipelineOptions{
+		Dataset: seismic.DemoOptions(), TileSize: 48, Accuracy: 1e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.CompressionRatio() < 1.3 {
+		t.Errorf("demo-scale compression ratio %.2f < 1.3", pipe.CompressionRatio())
+	}
+}
+
+func TestRunMDDInversionBeatsAdjoint(t *testing.T) {
+	pipe, err := BuildPipeline(PipelineOptions{
+		Dataset: smallDataset(), TileSize: 4, Accuracy: 1e-5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pipe.RunMDD(7, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InversionNMSE >= rep.AdjointNMSE {
+		t.Errorf("inversion NMSE %g not better than adjoint %g",
+			rep.InversionNMSE, rep.AdjointNMSE)
+	}
+	if rep.Iterations == 0 || len(rep.Solution) == 0 {
+		t.Error("empty report")
+	}
+}
+
+func TestRunMDDDenseBaseline(t *testing.T) {
+	pipe, err := BuildPipeline(PipelineOptions{Dataset: smallDataset(), Dense: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.CompressionRatio() != 1 {
+		t.Errorf("dense pipeline ratio %g", pipe.CompressionRatio())
+	}
+	rep, err := pipe.RunMDD(3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InversionNMSE > 0.1 {
+		t.Errorf("dense inversion NMSE %g", rep.InversionNMSE)
+	}
+}
+
+func TestRunMDDValidatesVS(t *testing.T) {
+	pipe, err := BuildPipeline(PipelineOptions{Dataset: smallDataset(), Dense: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.RunMDD(-1, 10); err == nil {
+		t.Error("negative vs should fail")
+	}
+	if _, err := pipe.RunMDD(1000, 10); err == nil {
+		t.Error("out-of-range vs should fail")
+	}
+}
+
+func TestBuildPipelineRSVDMethod(t *testing.T) {
+	pipe, err := BuildPipeline(PipelineOptions{
+		Dataset: smallDataset(), TileSize: 4, Accuracy: 1e-3,
+		Method: tlr.MethodRSVD, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.RunMDD(0, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCS2ExperimentHeadline(t *testing.T) {
+	// the 92.58 PB/s headline configuration
+	m, err := RunCS2Experiment(CS2Options{
+		NB: 70, Acc: 1e-4, StackWidth: 23, Systems: 48, Strategy: wse.Strategy2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RelativeBW < 80e15 || m.RelativeBW > 105e15 {
+		t.Errorf("headline relative BW %.2f PB/s, paper 92.58", m.RelativeBW/1e15)
+	}
+}
+
+func TestRunCS2AutoStackWidth(t *testing.T) {
+	dist, err := ranks.New(ranks.Config{NB: 70, Acc: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RunCS2WithDistribution(dist, CS2Options{NB: 70, Acc: 1e-4, Systems: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the auto stack width should land near the paper's 23 and within
+	// budget
+	if m.StackWidth < 18 || m.StackWidth > 30 {
+		t.Errorf("auto stack width %d, paper uses 23", m.StackWidth)
+	}
+	if m.Occupancy > 1 {
+		t.Error("over-occupied")
+	}
+}
+
+func TestRunCS2UnknownConfig(t *testing.T) {
+	if _, err := RunCS2Experiment(CS2Options{NB: 99, Acc: 1e-4, Systems: 6}); err == nil {
+		t.Error("unknown config should fail")
+	}
+}

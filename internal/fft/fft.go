@@ -1,0 +1,233 @@
+// Package fft implements the Fourier-transform substrate of the MDC
+// operator (Eqn. 2 of the paper): y = Fᴴ K F x, where F transforms seismic
+// traces from time to frequency. It provides an iterative radix-2 complex
+// FFT, a Bluestein chirp-z fallback for arbitrary lengths, and helpers for
+// transforming real-valued time signals to the one-sided frequency band
+// used by the frequency matrices.
+//
+// All transforms operate on complex128 internally for accuracy and expose
+// complex64 entry points for the single-precision pipeline.
+package fft
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Plan holds precomputed twiddle factors for repeated transforms of a
+// fixed length. A Plan is safe for concurrent use after creation.
+type Plan struct {
+	n        int
+	pow2     bool
+	twiddles []complex128 // radix-2 twiddles for pow2 n
+	// Bluestein machinery for non-power-of-two n:
+	m      int          // padded power-of-two length >= 2n-1
+	chirp  []complex128 // exp(-iπ k²/n)
+	bfft   []complex128 // FFT of the padded conjugate chirp
+	mplan  *Plan        // radix-2 plan of length m
+	invTwo bool
+}
+
+// NewPlan creates a transform plan for length n >= 1.
+func NewPlan(n int) *Plan {
+	if n < 1 {
+		panic("fft: length must be >= 1")
+	}
+	p := &Plan{n: n}
+	if n&(n-1) == 0 {
+		p.pow2 = true
+		p.twiddles = make([]complex128, n/2)
+		for k := range p.twiddles {
+			ang := -2 * math.Pi * float64(k) / float64(n)
+			p.twiddles[k] = cmplx.Exp(complex(0, ang))
+		}
+		return p
+	}
+	// Bluestein: x_k * chirp_k, convolve with conj chirp, multiply chirp.
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	p.m = m
+	p.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// use k² mod 2n to avoid float blowup for large k
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		ang := -math.Pi * float64(kk) / float64(n)
+		p.chirp[k] = cmplx.Exp(complex(0, ang))
+	}
+	b := make([]complex128, m)
+	b[0] = cmplx.Conj(p.chirp[0])
+	for k := 1; k < n; k++ {
+		c := cmplx.Conj(p.chirp[k])
+		b[k] = c
+		b[m-k] = c
+	}
+	p.mplan = NewPlan(m)
+	p.mplan.forwardPow2(b)
+	p.bfft = b
+	return p
+}
+
+// Len returns the transform length.
+func (p *Plan) Len() int { return p.n }
+
+// Forward computes the in-place forward DFT of x (length n):
+// X_k = Σ_j x_j e^{-2πi jk/n}.
+func (p *Plan) Forward(x []complex128) {
+	if len(x) != p.n {
+		panic("fft: Forward length mismatch")
+	}
+	if p.pow2 {
+		p.forwardPow2(x)
+		return
+	}
+	p.bluestein(x)
+}
+
+// Inverse computes the in-place inverse DFT of x with 1/n normalization:
+// x_j = (1/n) Σ_k X_k e^{+2πi jk/n}.
+func (p *Plan) Inverse(x []complex128) {
+	if len(x) != p.n {
+		panic("fft: Inverse length mismatch")
+	}
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	p.Forward(x)
+	inv := 1 / float64(p.n)
+	for i := range x {
+		x[i] = complex(real(x[i])*inv, -imag(x[i])*inv)
+	}
+}
+
+func (p *Plan) forwardPow2(x []complex128) {
+	n := len(x)
+	if n == 1 {
+		return
+	}
+	// bit-reversal permutation
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	tw := p.twiddles
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := tw[k*step]
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+func (p *Plan) bluestein(x []complex128) {
+	n, m := p.n, p.m
+	a := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * p.chirp[k]
+	}
+	p.mplan.forwardPow2(a)
+	for k := 0; k < m; k++ {
+		a[k] *= p.bfft[k]
+	}
+	// inverse FFT of length m
+	for i := range a {
+		a[i] = cmplx.Conj(a[i])
+	}
+	p.mplan.forwardPow2(a)
+	inv := 1 / float64(m)
+	for i := range a {
+		a[i] = complex(real(a[i])*inv, -imag(a[i])*inv)
+	}
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * p.chirp[k]
+	}
+}
+
+// Forward64 transforms a complex64 slice via the plan, using complex128
+// internally.
+func (p *Plan) Forward64(x []complex64) {
+	buf := make([]complex128, p.n)
+	for i, v := range x {
+		buf[i] = complex128(v)
+	}
+	p.Forward(buf)
+	for i := range x {
+		x[i] = complex64(buf[i])
+	}
+}
+
+// Inverse64 is the complex64 counterpart of Inverse.
+func (p *Plan) Inverse64(x []complex64) {
+	buf := make([]complex128, p.n)
+	for i, v := range x {
+		buf[i] = complex128(v)
+	}
+	p.Inverse(buf)
+	for i := range x {
+		x[i] = complex64(buf[i])
+	}
+}
+
+// RFFT computes the one-sided spectrum of a real time series of length nt:
+// it returns nt/2+1 complex coefficients (frequencies 0..Nyquist). This is
+// the transform applied to each seismic trace before frequency-domain MDC.
+func RFFT(x []float64) []complex128 {
+	nt := len(x)
+	p := NewPlan(nt)
+	buf := make([]complex128, nt)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	p.Forward(buf)
+	return buf[:nt/2+1]
+}
+
+// IRFFT reconstructs a real time series of length nt from its one-sided
+// spectrum (length nt/2+1), inverting RFFT.
+func IRFFT(spec []complex128, nt int) []float64 {
+	if len(spec) != nt/2+1 {
+		panic("fft: IRFFT spectrum length mismatch")
+	}
+	full := make([]complex128, nt)
+	copy(full, spec)
+	for k := 1; k < len(spec)-1; k++ {
+		full[nt-k] = cmplx.Conj(spec[k])
+	}
+	if nt%2 != 0 && len(spec) >= 2 {
+		// odd nt: mirror all but DC
+		for k := 1; k < len(spec); k++ {
+			full[nt-k] = cmplx.Conj(spec[k])
+		}
+	}
+	p := NewPlan(nt)
+	p.Inverse(full)
+	out := make([]float64, nt)
+	for i, v := range full {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// FreqAxis returns the frequency in Hz of each one-sided bin for a series
+// of nt samples at sampling interval dt seconds.
+func FreqAxis(nt int, dt float64) []float64 {
+	nf := nt/2 + 1
+	f := make([]float64, nf)
+	df := 1 / (float64(nt) * dt)
+	for k := range f {
+		f[k] = float64(k) * df
+	}
+	return f
+}

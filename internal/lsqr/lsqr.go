@@ -1,0 +1,193 @@
+// Package lsqr implements the LSQR algorithm of Paige and Saunders ([34]
+// in the paper) for complex linear operators: it solves min ‖A x − b‖₂ via
+// Golub–Kahan bidiagonalization, touching A only through forward and
+// adjoint products. The paper solves the MDD inverse problem with 30 LSQR
+// iterations (§6.2); the MDC operator built on TLR-MVM plugs in here.
+package lsqr
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/cfloat"
+)
+
+// Operator is a complex linear map A: ℂⁿ → ℂᵐ accessed matrix-free.
+type Operator interface {
+	// Rows and Cols give the operator shape (m and n).
+	Rows() int
+	Cols() int
+	// Apply computes y = A x (len(x) = Cols, len(y) = Rows).
+	Apply(x, y []complex64)
+	// ApplyAdjoint computes y = Aᴴ x (len(x) = Rows, len(y) = Cols).
+	ApplyAdjoint(x, y []complex64)
+}
+
+// Options controls the iteration.
+type Options struct {
+	// MaxIters bounds the iteration count (default 30, matching the
+	// paper's MDD runs).
+	MaxIters int
+	// Damp adds Tikhonov damping: solves min ‖Ax−b‖² + damp²‖x‖².
+	Damp float64
+	// ATol stops when the estimated relative residual ‖Aᴴr‖/(‖A‖‖r‖)
+	// falls below it (default 1e-8).
+	ATol float64
+	// BTol stops when ‖r‖/‖b‖ falls below it (default 1e-8).
+	BTol float64
+}
+
+// Result reports the solve outcome.
+type Result struct {
+	// X is the solution estimate (length Cols).
+	X []complex64
+	// Iters is the number of iterations performed.
+	Iters int
+	// ResidualNorm is the final ‖b − A x‖ estimate.
+	ResidualNorm float64
+	// ResidualHistory holds ‖r‖ after each iteration.
+	ResidualHistory []float64
+	// Converged reports whether a stopping tolerance was met before
+	// MaxIters.
+	Converged bool
+}
+
+// ErrZeroRHS is returned when b is identically zero (the solution is x=0).
+var ErrZeroRHS = errors.New("lsqr: right-hand side is zero")
+
+// Solve runs LSQR on A x ≈ b.
+func Solve(a Operator, b []complex64, opts Options) (*Result, error) {
+	m, n := a.Rows(), a.Cols()
+	if len(b) != m {
+		return nil, errors.New("lsqr: rhs length mismatch")
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 30
+	}
+	if opts.ATol == 0 {
+		opts.ATol = 1e-8
+	}
+	if opts.BTol == 0 {
+		opts.BTol = 1e-8
+	}
+
+	x := make([]complex64, n)
+	u := make([]complex64, m)
+	copy(u, b)
+	beta := cfloat.Nrm2(u)
+	if beta == 0 {
+		return &Result{X: x, Converged: true}, ErrZeroRHS
+	}
+	rescale(u, 1/beta)
+
+	v := make([]complex64, n)
+	a.ApplyAdjoint(u, v)
+	alpha := cfloat.Nrm2(v)
+	if alpha > 0 {
+		rescale(v, 1/alpha)
+	}
+	w := make([]complex64, n)
+	copy(w, v)
+
+	phiBar := beta
+	rhoBar := alpha
+	bnorm := beta
+	var anorm, ddnorm float64
+	damp := opts.Damp
+
+	res := &Result{X: x}
+	tmpM := make([]complex64, m)
+	tmpN := make([]complex64, n)
+
+	for it := 0; it < opts.MaxIters; it++ {
+		// bidiagonalization: beta*u = A v − alpha*u
+		a.Apply(v, tmpM)
+		for i := range u {
+			u[i] = tmpM[i] - complex(float32(alpha), 0)*u[i]
+		}
+		beta = cfloat.Nrm2(u)
+		if beta > 0 {
+			rescale(u, 1/beta)
+		}
+		anorm = math.Sqrt(anorm*anorm + alpha*alpha + beta*beta + damp*damp)
+
+		// alpha*v = Aᴴ u − beta*v
+		a.ApplyAdjoint(u, tmpN)
+		for i := range v {
+			v[i] = tmpN[i] - complex(float32(beta), 0)*v[i]
+		}
+		alpha = cfloat.Nrm2(v)
+		if alpha > 0 {
+			rescale(v, 1/alpha)
+		}
+
+		// eliminate damping
+		rhoBar1 := rhoBar
+		var cs1, sn1 float64 = 1, 0
+		if damp > 0 {
+			rhoBar1 = math.Hypot(rhoBar, damp)
+			cs1 = rhoBar / rhoBar1
+			sn1 = damp / rhoBar1
+			phiBar = cs1 * phiBar
+			_ = sn1
+		}
+
+		// Givens rotation to eliminate the subdiagonal beta
+		rho := math.Hypot(rhoBar1, beta)
+		cs := rhoBar1 / rho
+		sn := beta / rho
+		theta := sn * alpha
+		rhoBar = -cs * alpha
+		phi := cs * phiBar
+		phiBar = sn * phiBar
+
+		// update x and w
+		t1 := phi / rho
+		t2 := -theta / rho
+		for i := 0; i < n; i++ {
+			x[i] += complex(float32(t1), 0) * w[i]
+			w[i] = v[i] + complex(float32(t2), 0)*w[i]
+		}
+		ddnorm += (1 / rho) * (1 / rho) * float64(real(cfloat.Dotc(w, w)))
+
+		res.Iters = it + 1
+		res.ResidualNorm = phiBar
+		res.ResidualHistory = append(res.ResidualHistory, phiBar)
+
+		// stopping tests (Paige–Saunders criteria 1 and 2)
+		if phiBar <= opts.BTol*bnorm+opts.ATol*anorm*cfloat.Nrm2(x) {
+			res.Converged = true
+			break
+		}
+		arnorm := alpha * math.Abs(cs) * phiBar
+		if anorm > 0 && phiBar > 0 && arnorm/(anorm*phiBar) <= opts.ATol {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}
+
+func rescale(x []complex64, s float64) {
+	cfloat.Scal(complex(float32(s), 0), x)
+}
+
+// MatOperator adapts explicit forward/adjoint closures to the Operator
+// interface, convenient for tests and for wrapping dense or TLR matrices.
+type MatOperator struct {
+	M, N int
+	Fwd  func(x, y []complex64)
+	Adj  func(x, y []complex64)
+}
+
+// Rows implements Operator.
+func (o *MatOperator) Rows() int { return o.M }
+
+// Cols implements Operator.
+func (o *MatOperator) Cols() int { return o.N }
+
+// Apply implements Operator.
+func (o *MatOperator) Apply(x, y []complex64) { o.Fwd(x, y) }
+
+// ApplyAdjoint implements Operator.
+func (o *MatOperator) ApplyAdjoint(x, y []complex64) { o.Adj(x, y) }

@@ -1,0 +1,350 @@
+// Package mdc implements the Multi-Dimensional Convolution operator of
+// Eqn. (2): y = Fᴴ K F x, where K applies one matrix-vector product per
+// frequency in the seismic band and F/Fᴴ move between time and frequency.
+// The kernel K is pluggable: dense frequency matrices or TLR-compressed
+// ones (the paper's contribution), so the same MDD driver runs against
+// both and quantifies the compression error end to end.
+package mdc
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/dense"
+	"repro/internal/fft"
+	"repro/internal/tlr"
+)
+
+// Kernel is the per-frequency matrix stack K of Eqn. (2): NumFreqs
+// matrices, each Rows×Cols (sources × seafloor points).
+type Kernel interface {
+	NumFreqs() int
+	Rows() int
+	Cols() int
+	// Apply computes y = K_f x for frequency index f.
+	Apply(f int, x, y []complex64)
+	// ApplyAdjoint computes y = K_fᴴ x.
+	ApplyAdjoint(f int, x, y []complex64)
+	// Bytes returns the kernel storage footprint.
+	Bytes() int64
+}
+
+// DenseKernel wraps a stack of dense frequency matrices.
+type DenseKernel struct {
+	Mats []*dense.Matrix
+}
+
+// NewDenseKernel validates that all matrices share one shape.
+func NewDenseKernel(mats []*dense.Matrix) (*DenseKernel, error) {
+	if len(mats) == 0 {
+		return nil, fmt.Errorf("mdc: empty kernel")
+	}
+	r, c := mats[0].Rows, mats[0].Cols
+	for i, m := range mats {
+		if m.Rows != r || m.Cols != c {
+			return nil, fmt.Errorf("mdc: matrix %d is %dx%d, want %dx%d", i, m.Rows, m.Cols, r, c)
+		}
+	}
+	return &DenseKernel{Mats: mats}, nil
+}
+
+// NumFreqs implements Kernel.
+func (k *DenseKernel) NumFreqs() int { return len(k.Mats) }
+
+// Rows implements Kernel.
+func (k *DenseKernel) Rows() int { return k.Mats[0].Rows }
+
+// Cols implements Kernel.
+func (k *DenseKernel) Cols() int { return k.Mats[0].Cols }
+
+// Apply implements Kernel.
+func (k *DenseKernel) Apply(f int, x, y []complex64) { k.Mats[f].MulVec(x, y) }
+
+// ApplyAdjoint implements Kernel.
+func (k *DenseKernel) ApplyAdjoint(f int, x, y []complex64) { k.Mats[f].MulVecConjTrans(x, y) }
+
+// Bytes implements Kernel.
+func (k *DenseKernel) Bytes() int64 {
+	var b int64
+	for _, m := range k.Mats {
+		b += m.Bytes()
+	}
+	return b
+}
+
+// TLRKernel wraps a stack of TLR-compressed frequency matrices.
+type TLRKernel struct {
+	Mats []*tlr.Matrix
+}
+
+// CompressKernel TLR-compresses each frequency matrix of a dense kernel
+// with the given options — the paper's pre-processing step.
+func CompressKernel(k *DenseKernel, opts tlr.Options) (*TLRKernel, error) {
+	out := make([]*tlr.Matrix, len(k.Mats))
+	for i, m := range k.Mats {
+		tm, err := tlr.Compress(m, opts)
+		if err != nil {
+			return nil, fmt.Errorf("mdc: compressing frequency %d: %w", i, err)
+		}
+		out[i] = tm
+	}
+	return &TLRKernel{Mats: out}, nil
+}
+
+// NumFreqs implements Kernel.
+func (k *TLRKernel) NumFreqs() int { return len(k.Mats) }
+
+// Rows implements Kernel.
+func (k *TLRKernel) Rows() int { return k.Mats[0].M }
+
+// Cols implements Kernel.
+func (k *TLRKernel) Cols() int { return k.Mats[0].N }
+
+// Apply implements Kernel.
+func (k *TLRKernel) Apply(f int, x, y []complex64) { k.Mats[f].MulVec(x, y) }
+
+// ApplyAdjoint implements Kernel.
+func (k *TLRKernel) ApplyAdjoint(f int, x, y []complex64) { k.Mats[f].MulVecConjTrans(x, y) }
+
+// Bytes implements Kernel.
+func (k *TLRKernel) Bytes() int64 {
+	var b int64
+	for _, m := range k.Mats {
+		b += m.CompressedBytes()
+	}
+	return b
+}
+
+// FreqOperator is the frequency-domain MDC operator used by MDD: the
+// unknown and data live on the in-band frequency grid (frequency-major
+// layout: x[f·Cols+v], y[f·Rows+s]) and the operator applies one scaled
+// kernel MVM per frequency, in parallel. It satisfies lsqr.Operator.
+type FreqOperator struct {
+	K Kernel
+	// Scale multiplies every MVM; the MDC surface-integration weight dA.
+	Scale float32
+	// Workers bounds the per-frequency parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Rows implements lsqr.Operator: total data length nf·nsrc.
+func (op *FreqOperator) Rows() int { return op.K.NumFreqs() * op.K.Rows() }
+
+// Cols implements lsqr.Operator: total model length nf·nrec.
+func (op *FreqOperator) Cols() int { return op.K.NumFreqs() * op.K.Cols() }
+
+// Apply implements lsqr.Operator.
+func (op *FreqOperator) Apply(x, y []complex64) {
+	op.run(x, y, false)
+}
+
+// ApplyAdjoint implements lsqr.Operator.
+func (op *FreqOperator) ApplyAdjoint(x, y []complex64) {
+	op.run(x, y, true)
+}
+
+func (op *FreqOperator) run(x, y []complex64, adjoint bool) {
+	nf := op.K.NumFreqs()
+	nin, nout := op.K.Cols(), op.K.Rows()
+	if adjoint {
+		nin, nout = nout, nin
+	}
+	if len(x) < nf*nin || len(y) < nf*nout {
+		panic("mdc: FreqOperator vector too short")
+	}
+	scale := complex(op.Scale, 0)
+	if op.Scale == 0 {
+		scale = 1
+	}
+	workers := op.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for f := 0; f < nf; f++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(f int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			xf := x[f*nin : (f+1)*nin]
+			yf := y[f*nout : (f+1)*nout]
+			if adjoint {
+				op.K.ApplyAdjoint(f, xf, yf)
+			} else {
+				op.K.Apply(f, xf, yf)
+			}
+			if scale != 1 {
+				for i := range yf {
+					yf[i] *= scale
+				}
+			}
+		}(f)
+	}
+	wg.Wait()
+}
+
+// TimeOperator is the literal Eqn. (2) composition A = Sᴴ K S over complex
+// time-domain traces, where S is the unitary band-sampling DFT (forward
+// unitary FFT followed by in-band bin selection) and Sᴴ its exact adjoint
+// (zero-padding followed by the unitary inverse FFT). Using the unitary
+// pair keeps ⟨Ax, y⟩ = ⟨x, Aᴴy⟩ exact, which LSQR requires.
+//
+// Layout: x holds Cols() channels of Nt complex samples, channel-major
+// (x[c·Nt+t]); y holds Rows() channels likewise.
+type TimeOperator struct {
+	K Kernel
+	// Nt is the time-series length; FreqIdx maps each kernel frequency to
+	// its bin on the length-Nt DFT grid.
+	Nt      int
+	FreqIdx []int
+	Scale   float32
+	Workers int
+
+	planOnce sync.Once
+	plan     *fft.Plan
+}
+
+// Rows implements lsqr.Operator.
+func (op *TimeOperator) Rows() int { return op.K.Rows() * op.Nt }
+
+// Cols implements lsqr.Operator.
+func (op *TimeOperator) Cols() int { return op.K.Cols() * op.Nt }
+
+func (op *TimeOperator) getPlan() *fft.Plan {
+	op.planOnce.Do(func() { op.plan = fft.NewPlan(op.Nt) })
+	return op.plan
+}
+
+// Apply implements lsqr.Operator.
+func (op *TimeOperator) Apply(x, y []complex64) { op.run(x, y, false) }
+
+// ApplyAdjoint implements lsqr.Operator.
+func (op *TimeOperator) ApplyAdjoint(x, y []complex64) { op.run(x, y, true) }
+
+// AnalyzeTime applies the S stage standalone: channel-major time traces
+// in x (nchan × Nt) are transformed to frequency-major in-band panels in
+// out (nf × nchan) with the unitary forward scaling.
+func (op *TimeOperator) AnalyzeTime(x, out []complex64, nchan int) {
+	if len(x) < nchan*op.Nt || len(out) < len(op.FreqIdx)*nchan {
+		panic("mdc: AnalyzeTime buffer too short")
+	}
+	plan := op.getPlan()
+	root := 1 / math.Sqrt(float64(op.Nt))
+	buf := make([]complex128, op.Nt)
+	for c := 0; c < nchan; c++ {
+		for t := 0; t < op.Nt; t++ {
+			buf[t] = complex128(x[c*op.Nt+t])
+		}
+		plan.Forward(buf)
+		for f, bin := range op.FreqIdx {
+			v := buf[bin]
+			out[f*nchan+c] = complex64(complex(real(v)*root, imag(v)*root))
+		}
+	}
+}
+
+// SynthesizeTime applies the Sᴴ stage standalone: frequency-major in-band
+// panels in x (nf × nchan) become channel-major time traces in out
+// (nchan × Nt) with the unitary inverse scaling.
+func (op *TimeOperator) SynthesizeTime(x, out []complex64, nchan int) {
+	if len(x) < len(op.FreqIdx)*nchan || len(out) < nchan*op.Nt {
+		panic("mdc: SynthesizeTime buffer too short")
+	}
+	plan := op.getPlan()
+	rootInv := math.Sqrt(float64(op.Nt))
+	buf := make([]complex128, op.Nt)
+	for c := 0; c < nchan; c++ {
+		for t := range buf {
+			buf[t] = 0
+		}
+		for f, bin := range op.FreqIdx {
+			buf[bin] = complex128(x[f*nchan+c])
+		}
+		plan.Inverse(buf)
+		for t := 0; t < op.Nt; t++ {
+			v := buf[t]
+			out[c*op.Nt+t] = complex64(complex(real(v)*rootInv, imag(v)*rootInv))
+		}
+	}
+}
+
+func (op *TimeOperator) run(x, y []complex64, adjoint bool) {
+	if len(op.FreqIdx) != op.K.NumFreqs() {
+		panic("mdc: TimeOperator FreqIdx length mismatch")
+	}
+	nf := op.K.NumFreqs()
+	ncin, ncout := op.K.Cols(), op.K.Rows()
+	if adjoint {
+		ncin, ncout = ncout, ncin
+	}
+	if len(x) < ncin*op.Nt || len(y) < ncout*op.Nt {
+		panic("mdc: TimeOperator vector too short")
+	}
+	plan := op.getPlan()
+	root := 1 / math.Sqrt(float64(op.Nt))
+	// S: per input channel, unitary forward FFT, keep in-band bins
+	xf := make([]complex64, nf*ncin) // frequency-major panels
+	buf := make([]complex128, op.Nt)
+	for c := 0; c < ncin; c++ {
+		for t := 0; t < op.Nt; t++ {
+			buf[t] = complex128(x[c*op.Nt+t])
+		}
+		plan.Forward(buf)
+		for f, bin := range op.FreqIdx {
+			v := buf[bin]
+			xf[f*ncin+c] = complex64(complex(real(v)*root, imag(v)*root))
+		}
+	}
+	// K (or Kᴴ) per frequency
+	yf := make([]complex64, nf*ncout)
+	scale := complex(op.Scale, 0)
+	if op.Scale == 0 {
+		scale = 1
+	}
+	workers := op.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for f := 0; f < nf; f++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(f int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			in := xf[f*ncin : (f+1)*ncin]
+			out := yf[f*ncout : (f+1)*ncout]
+			if adjoint {
+				op.K.ApplyAdjoint(f, in, out)
+			} else {
+				op.K.Apply(f, in, out)
+			}
+			if scale != 1 {
+				for i := range out {
+					out[i] *= scale
+				}
+			}
+		}(f)
+	}
+	wg.Wait()
+	// Sᴴ: zero-pad the band back onto the DFT grid, unitary inverse FFT
+	rootInv := math.Sqrt(float64(op.Nt))
+	for c := 0; c < ncout; c++ {
+		for t := range buf {
+			buf[t] = 0
+		}
+		for f, bin := range op.FreqIdx {
+			buf[bin] = complex128(yf[f*ncout+c])
+		}
+		plan.Inverse(buf)
+		for t := 0; t < op.Nt; t++ {
+			v := buf[t]
+			y[c*op.Nt+t] = complex64(complex(real(v)*rootInv, imag(v)*rootInv))
+		}
+	}
+}

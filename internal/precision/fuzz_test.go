@@ -1,0 +1,82 @@
+package precision
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzF16RoundTrip asserts the binary16 codec's contract over arbitrary
+// float32 inputs: conversion never panics, the result is within the
+// format's error bound (or correctly saturated/flushed), and re-encoding
+// the decoded value is a fixed point.
+func FuzzF16RoundTrip(f *testing.F) {
+	for _, s := range []float32{0, 1, -1, 65504, 65520, 1e-8, 6.1e-5,
+		float32(math.Inf(1)), float32(math.NaN()), -2.5e-7} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, x float32) {
+		h := F32ToF16(x)
+		y := F16ToF32(h)
+		switch {
+		case math.IsNaN(float64(x)):
+			if !math.IsNaN(float64(y)) {
+				t.Fatalf("NaN lost: %g", y)
+			}
+		case math.IsInf(float64(x), 0):
+			if y != x {
+				t.Fatalf("Inf lost: %g → %g", x, y)
+			}
+		case math.Abs(float64(x)) >= 65520:
+			// overflow saturates to infinity of the same sign
+			if !math.IsInf(float64(y), int(math.Copysign(1, float64(x)))) {
+				t.Fatalf("overflow of %g gave %g", x, y)
+			}
+		case math.Abs(float64(x)) < 2.98e-8:
+			if y != 0 && math.Abs(float64(y)) > 6e-8 {
+				t.Fatalf("underflow of %g gave %g", x, y)
+			}
+		default:
+			// general bound: half a ULP of binary16, i.e. ≤ 2^-11 relative
+			// in the normal range, absolute 2^-25 near the subnormals
+			err := math.Abs(float64(y) - float64(x))
+			bound := math.Ldexp(1, -11)*math.Abs(float64(x)) + math.Ldexp(1, -25)
+			if err > bound {
+				t.Fatalf("x=%g y=%g err=%g bound=%g", x, y, err, bound)
+			}
+		}
+		// idempotence: encode(decode(h)) == h for non-NaN
+		if !math.IsNaN(float64(y)) {
+			if h2 := F32ToF16(y); h2 != h {
+				t.Fatalf("re-encode changed bits: %#04x → %#04x", h, h2)
+			}
+		}
+	})
+}
+
+// FuzzBF16RoundTrip asserts the bfloat16 codec's contract likewise.
+func FuzzBF16RoundTrip(f *testing.F) {
+	for _, s := range []float32{0, 1, -3.3e38, 3.3e38, 1e-40,
+		float32(math.Inf(-1)), float32(math.NaN())} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, x float32) {
+		h := F32ToBF16(x)
+		y := BF16ToF32(h)
+		switch {
+		case math.IsNaN(float64(x)):
+			if !math.IsNaN(float64(y)) {
+				t.Fatalf("NaN lost")
+			}
+		case math.IsInf(float64(x), 0):
+			if y != x {
+				t.Fatalf("Inf lost")
+			}
+		default:
+			err := math.Abs(float64(y) - float64(x))
+			bound := math.Ldexp(1, -8)*math.Abs(float64(x)) + 1e-40
+			if err > bound && !math.IsInf(float64(y), 0) {
+				t.Fatalf("x=%g y=%g err=%g", x, y, err)
+			}
+		}
+	})
+}

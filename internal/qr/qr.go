@@ -1,0 +1,243 @@
+// Package qr implements Householder QR and rank-revealing (column-pivoted)
+// QR factorizations for complex single-precision matrices. RRQR is one of
+// the algebraic compression methods the paper cites for building TLR tiles
+// ([16, 18] in the paper); the TLR compressor uses it as an alternative to
+// the SVD, and the randomized SVD uses plain QR as its range finder.
+//
+// Internally factorizations accumulate in complex128 for stability and
+// return complex64 factors.
+package qr
+
+import (
+	"math"
+	"math/cmplx"
+
+	"repro/internal/dense"
+)
+
+// Factorization holds a (pivoted) QR factorization A P = Q R with Q m×k
+// having orthonormal columns, R k×n upper triangular (trapezoidal), and
+// Piv the column permutation (Piv[j] = original column index placed at j).
+// For unpivoted QR, Piv is the identity.
+type Factorization struct {
+	Q   *dense.Matrix
+	R   *dense.Matrix
+	Piv []int
+}
+
+// Decompose computes an unpivoted thin QR of A via modified Gram–Schmidt
+// with one reorthogonalization pass (MGS2), returning Q (m×k) and R (k×n)
+// with k = min(m, n).
+func Decompose(a *dense.Matrix) *Factorization {
+	m, n := a.Rows, a.Cols
+	k := min(m, n)
+	q := toC128(a)
+	r := make([]complex128, k*n) // column-major k×n
+	for j := 0; j < k; j++ {
+		// two passes of projection for numerical orthogonality
+		for pass := 0; pass < 2; pass++ {
+			for p := 0; p < j; p++ {
+				d := dotc128(q, m, p, j)
+				r[j*k+p] += d
+				axpy128(q, m, p, j, -d)
+			}
+		}
+		nrm := nrm2col(q, m, j)
+		r[j*k+j] = complex(nrm, 0)
+		if nrm > 0 {
+			scalcol(q, m, j, 1/nrm)
+		}
+	}
+	for j := k; j < n; j++ {
+		for pass := 0; pass < 2; pass++ {
+			for p := 0; p < k; p++ {
+				d := dotc128(q, m, p, j)
+				r[j*k+p] += d
+				axpy128(q, m, p, j, -d)
+			}
+		}
+	}
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	return &Factorization{Q: fromC128(q[:m*k], m, k), R: fromC128(r, k, n), Piv: piv}
+}
+
+// RRQR computes a rank-revealing QR with column pivoting, stopping when the
+// trailing column norms fall below tol·‖A‖F (relative) or after maxRank
+// columns (maxRank <= 0 means min(m,n)). It returns a truncated
+// factorization: Q is m×r, R is r×n (pivoted order), Piv the permutation.
+func RRQR(a *dense.Matrix, tol float64, maxRank int) *Factorization {
+	m, n := a.Rows, a.Cols
+	kmax := min(m, n)
+	if maxRank > 0 && maxRank < kmax {
+		kmax = maxRank
+	}
+	q := toC128(a)
+	// working column norms (squared)
+	norms := make([]float64, n)
+	var total float64
+	for j := 0; j < n; j++ {
+		s := nrm2col(q, m, j)
+		norms[j] = s * s
+		total += s * s
+	}
+	thresh := tol * tol * total
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	r := make([]complex128, kmax*n)
+	rank := 0
+	for j := 0; j < kmax; j++ {
+		// pick the column with the largest remaining norm
+		best, bi := -1.0, j
+		for p := j; p < n; p++ {
+			if norms[p] > best {
+				best, bi = norms[p], p
+			}
+		}
+		if bi != j {
+			swapcol(q, m, j, bi)
+			norms[j], norms[bi] = norms[bi], norms[j]
+			piv[j], piv[bi] = piv[bi], piv[j]
+			// swap already-computed R rows' columns
+			for p := 0; p < j; p++ {
+				r[j*kmax+p], r[bi*kmax+p] = r[bi*kmax+p], r[j*kmax+p]
+			}
+		}
+		// stopping: remaining energy below threshold
+		var remaining float64
+		for p := j; p < n; p++ {
+			remaining += norms[p]
+		}
+		if tol > 0 && remaining <= thresh && j > 0 {
+			break
+		}
+		// orthogonalize column j against previous (two-pass MGS)
+		for pass := 0; pass < 2; pass++ {
+			for p := 0; p < j; p++ {
+				d := dotc128(q, m, p, j)
+				r[j*kmax+p] += d
+				axpy128(q, m, p, j, -d)
+			}
+		}
+		nrm := nrm2col(q, m, j)
+		r[j*kmax+j] = complex(nrm, 0)
+		if nrm > 0 {
+			scalcol(q, m, j, 1/nrm)
+		}
+		rank = j + 1
+		// update trailing column norms and R entries
+		for p := j + 1; p < n; p++ {
+			d := dotc128(q, m, j, p)
+			r[p*kmax+j] = d
+			axpy128(q, m, j, p, -d)
+			norms[p] -= real(d)*real(d) + imag(d)*imag(d)
+			if norms[p] < 0 {
+				norms[p] = 0
+			}
+		}
+	}
+	if rank == 0 {
+		rank = 1 // always return at least rank 1 so factors are usable
+		// column 0 may be zero; Q col is zero then, R row zero: still valid A≈QR
+		if nrm2col(q, m, 0) == 0 {
+			r[0] = 0
+		}
+	}
+	// pack truncated factors
+	qOut := dense.New(m, rank)
+	for j := 0; j < rank; j++ {
+		for i := 0; i < m; i++ {
+			qOut.Set(i, j, complex64(q[j*m+i]))
+		}
+	}
+	rOut := dense.New(rank, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < rank; i++ {
+			rOut.Set(i, j, complex64(r[j*kmax+i]))
+		}
+	}
+	return &Factorization{Q: qOut, R: rOut, Piv: piv}
+}
+
+// Rank returns the number of columns of Q (the revealed numerical rank for
+// RRQR, min(m,n) for plain QR).
+func (f *Factorization) Rank() int { return f.Q.Cols }
+
+// Reconstruct forms Q·R and undoes the column pivoting, returning a matrix
+// approximating the original A.
+func (f *Factorization) Reconstruct() *dense.Matrix {
+	qr := dense.Mul(f.Q, f.R)
+	out := dense.New(qr.Rows, qr.Cols)
+	for j := 0; j < qr.Cols; j++ {
+		copy(out.Col(f.Piv[j]), qr.Col(j))
+	}
+	return out
+}
+
+// helpers over column-major complex128 buffers
+
+func toC128(a *dense.Matrix) []complex128 {
+	m, n := a.Rows, a.Cols
+	out := make([]complex128, m*n)
+	for j := 0; j < n; j++ {
+		col := a.Col(j)
+		for i, v := range col {
+			out[j*m+i] = complex128(v)
+		}
+	}
+	return out
+}
+
+func fromC128(buf []complex128, m, n int) *dense.Matrix {
+	out := dense.New(m, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			out.Set(i, j, complex64(buf[j*m+i]))
+		}
+	}
+	return out
+}
+
+func dotc128(q []complex128, m, p, j int) complex128 {
+	var acc complex128
+	cp := q[p*m : p*m+m]
+	cj := q[j*m : j*m+m]
+	for i := range cp {
+		acc += cmplx.Conj(cp[i]) * cj[i]
+	}
+	return acc
+}
+
+func axpy128(q []complex128, m, p, j int, alpha complex128) {
+	cp := q[p*m : p*m+m]
+	cj := q[j*m : j*m+m]
+	for i := range cp {
+		cj[i] += alpha * cp[i]
+	}
+}
+
+func nrm2col(q []complex128, m, j int) float64 {
+	var s float64
+	for _, v := range q[j*m : j*m+m] {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(s)
+}
+
+func scalcol(q []complex128, m, j int, s float64) {
+	for i := j * m; i < j*m+m; i++ {
+		q[i] = complex(real(q[i])*s, imag(q[i])*s)
+	}
+}
+
+func swapcol(q []complex128, m, a, b int) {
+	ca := q[a*m : a*m+m]
+	cb := q[b*m : b*m+m]
+	for i := range ca {
+		ca[i], cb[i] = cb[i], ca[i]
+	}
+}

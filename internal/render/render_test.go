@@ -1,0 +1,148 @@
+package render
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/seismic"
+)
+
+func testGather() *seismic.Gather {
+	return &seismic.Gather{
+		Traces: [][]float64{
+			{0, 1, 0, -1},
+			{0.5, 0, -0.5, 0},
+		},
+		Dt: 0.004,
+	}
+}
+
+func TestGatherImageMapping(t *testing.T) {
+	img := GatherImage(testGather(), 1, 1)
+	if img.W != 2 || img.H != 4 {
+		t.Fatalf("image %dx%d", img.W, img.H)
+	}
+	// amplitude +1 → 255, −1 → 0, 0 → ~128
+	if img.At(0, 1) != 255 {
+		t.Errorf("peak pixel %d", img.At(0, 1))
+	}
+	if img.At(0, 3) != 0 {
+		t.Errorf("trough pixel %d", img.At(0, 3))
+	}
+	if v := img.At(0, 0); v < 126 || v > 130 {
+		t.Errorf("zero pixel %d", v)
+	}
+	// half amplitude lands mid-way
+	if v := img.At(1, 0); v < 180 || v > 200 {
+		t.Errorf("half-amplitude pixel %d", v)
+	}
+}
+
+func TestGatherImageTraceWidthAndClip(t *testing.T) {
+	img := GatherImage(testGather(), 3, 0.5)
+	if img.W != 6 {
+		t.Fatalf("width %d", img.W)
+	}
+	// widened pixels identical
+	if img.At(0, 1) != img.At(1, 1) || img.At(1, 1) != img.At(2, 1) {
+		t.Error("trace widening broken")
+	}
+	// clip 0.5: amplitude 1 saturates, 0.5 maps to full white too
+	if img.At(3, 0) != 255 {
+		t.Errorf("clipped half-amplitude pixel %d", img.At(3, 0))
+	}
+}
+
+func TestEmptyGather(t *testing.T) {
+	img := GatherImage(&seismic.Gather{}, 2, 1)
+	if img.W != 1 || img.H != 1 {
+		t.Error("empty gather should give 1x1 placeholder")
+	}
+}
+
+func TestZeroGatherMidGray(t *testing.T) {
+	g := &seismic.Gather{Traces: [][]float64{{0, 0}}, Dt: 1}
+	img := GatherImage(g, 1, 1)
+	for _, p := range img.Pix {
+		if p < 127 || p > 129 {
+			t.Fatalf("zero trace pixel %d", p)
+		}
+	}
+}
+
+func TestVelocityImageStructure(t *testing.T) {
+	m := seismic.DefaultModel(300)
+	img := VelocityImage(m, 60, 120, 20)
+	if img.W != 60 || img.H != 120 {
+		t.Fatal("bad dimensions")
+	}
+	// water (slowest) must be darker than the deepest rock (fastest)
+	if img.At(5, 5) >= img.At(5, 119) {
+		t.Errorf("water %d not darker than basement %d", img.At(5, 5), img.At(5, 119))
+	}
+	// min maps to 0 and max to 255 somewhere
+	var lo, hi uint8 = 255, 0
+	for _, p := range img.Pix {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	if lo != 0 || hi != 255 {
+		t.Errorf("range [%d,%d], want [0,255]", lo, hi)
+	}
+}
+
+func TestPGMRoundTrip(t *testing.T) {
+	img := GatherImage(testGather(), 2, 1)
+	var buf bytes.Buffer
+	if err := img.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != img.W || back.H != img.H {
+		t.Fatal("dimensions changed")
+	}
+	for i := range img.Pix {
+		if back.Pix[i] != img.Pix[i] {
+			t.Fatalf("pixel %d changed", i)
+		}
+	}
+}
+
+func TestReadPGMRejectsGarbage(t *testing.T) {
+	if _, err := ReadPGM(bytes.NewReader([]byte("P6\n2 2\n255\nxxxx"))); err == nil {
+		t.Error("P6 accepted")
+	}
+	if _, err := ReadPGM(bytes.NewReader([]byte("P5\n-1 2\n255\n"))); err == nil {
+		t.Error("negative width accepted")
+	}
+	if _, err := ReadPGM(bytes.NewReader([]byte("P5\n4 4\n255\nab"))); err == nil {
+		t.Error("truncated pixels accepted")
+	}
+}
+
+func TestSavePGM(t *testing.T) {
+	img := GatherImage(testGather(), 1, 1)
+	path := t.TempDir() + "/g.pgm"
+	if err := img.SavePGM(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPGM(bytes.NewReader(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != img.W {
+		t.Error("saved file wrong")
+	}
+}

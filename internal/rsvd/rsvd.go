@@ -1,0 +1,76 @@
+// Package rsvd implements the randomized SVD of Halko, Martinsson and
+// Tropp ([21] in the paper): a Gaussian sketch captures the range of the
+// matrix, optional power iterations sharpen the spectrum, a QR range
+// finder orthonormalizes, and a small exact SVD finishes the job. It is
+// one of the pluggable tile compressors of the TLR pre-processing step.
+package rsvd
+
+import (
+	"math/rand"
+
+	"repro/internal/dense"
+	"repro/internal/qr"
+	"repro/internal/svd"
+)
+
+// Options configures the randomized SVD.
+type Options struct {
+	// Rank is the target rank of the sketch. If 0, min(m,n) is used
+	// (which degenerates to an exact SVD via a square sketch).
+	Rank int
+	// Oversample adds extra sketch columns for accuracy (default 8).
+	Oversample int
+	// PowerIters applies (AAᴴ)^q to the sketch to sharpen decay
+	// (default 1).
+	PowerIters int
+	// Rng supplies randomness; must not be nil.
+	Rng *rand.Rand
+}
+
+// Decompose computes an approximate thin SVD of A with target rank
+// opts.Rank. The returned SVD has min(Rank+Oversample, min(m,n)) columns;
+// truncate with its Rank/Truncate methods as with an exact SVD.
+func Decompose(a *dense.Matrix, opts Options) *svd.SVD {
+	if opts.Rng == nil {
+		panic("rsvd: Options.Rng must be set")
+	}
+	m, n := a.Rows, a.Cols
+	k := opts.Rank
+	if k <= 0 {
+		k = min(m, n)
+	}
+	over := opts.Oversample
+	if over == 0 {
+		over = 8
+	}
+	p := opts.PowerIters
+	if p < 0 {
+		p = 0
+	}
+	l := min(k+over, min(m, n))
+
+	// Sketch Y = A Ω with Ω n×l Gaussian.
+	omega := dense.Random(opts.Rng, n, l)
+	y := dense.Mul(a, omega)
+	// Power iterations with re-orthonormalization: Y ← A (Aᴴ Q(Y)).
+	for it := 0; it < p; it++ {
+		qy := qr.Decompose(y).Q
+		z := dense.Mul(a.ConjTranspose(), qy)
+		qz := qr.Decompose(z).Q
+		y = dense.Mul(a, qz)
+	}
+	q := qr.Decompose(y).Q // m×l orthonormal range basis
+	// B = Qᴴ A is l×n; its exact SVD gives the approximation.
+	b := dense.Mul(q.ConjTranspose(), a)
+	sb := svd.Decompose(b)
+	// U = Q · U_b
+	u := dense.Mul(q, sb.U)
+	return &svd.SVD{U: u, S: sb.S, V: sb.V}
+}
+
+// Compress returns rank-truncated factors A ≈ U·Vᴴ at relative Frobenius
+// tolerance tol, sketching at maxRank (0 = full).
+func Compress(a *dense.Matrix, tol float64, maxRank int, rng *rand.Rand) (u, v *dense.Matrix) {
+	d := Decompose(a, Options{Rank: maxRank, PowerIters: 1, Rng: rng})
+	return d.TruncateTol(tol)
+}

@@ -1,0 +1,103 @@
+package rsvd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+func TestExactLowRankRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, r := range []int{1, 3, 8} {
+		a := dense.RandomLowRank(rng, 40, 35, r)
+		d := Decompose(a, Options{Rank: r, Rng: rng})
+		if err := dense.RelError(d.Reconstruct(), a); err > 1e-4 {
+			t.Errorf("rank %d: reconstruction error %g", r, err)
+		}
+	}
+}
+
+func TestDecayMatrixAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := dense.RandomDecay(rng, 60, 60, 0.5)
+	d := Decompose(a, Options{Rank: 20, PowerIters: 2, Rng: rng})
+	uk, vk := d.TruncateTol(1e-4)
+	approx := dense.Mul(uk, vk.ConjTranspose())
+	if err := dense.RelError(approx, a); err > 5e-4 {
+		t.Errorf("decay matrix error %g", err)
+	}
+}
+
+func TestPowerIterationsImproveAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := dense.RandomDecay(rng, 50, 50, 0.9) // slow decay: hard case
+	rank := 10
+	d0 := Decompose(a, Options{Rank: rank, Oversample: 2, PowerIters: 0, Rng: rand.New(rand.NewSource(7))})
+	d2 := Decompose(a, Options{Rank: rank, Oversample: 2, PowerIters: 3, Rng: rand.New(rand.NewSource(7))})
+	u0, v0 := d0.Truncate(rank)
+	u2, v2 := d2.Truncate(rank)
+	e0 := dense.RelError(dense.Mul(u0, v0.ConjTranspose()), a)
+	e2 := dense.RelError(dense.Mul(u2, v2.ConjTranspose()), a)
+	if e2 > e0*1.05 {
+		t.Errorf("power iterations hurt: %g (q=3) vs %g (q=0)", e2, e0)
+	}
+}
+
+func TestZeroRankDefaultsToFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := dense.Random(rng, 10, 8)
+	d := Decompose(a, Options{Rng: rng})
+	if err := dense.RelError(d.Reconstruct(), a); err > 1e-4 {
+		t.Errorf("full-rank sketch error %g", err)
+	}
+}
+
+func TestCompressMeetsTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := dense.RandomDecay(rng, 45, 45, 0.6)
+	for _, tol := range []float64{1e-2, 1e-3} {
+		u, v := Compress(a, tol, 30, rng)
+		approx := dense.Mul(u, v.ConjTranspose())
+		if err := dense.RelError(approx, a); err > 3*tol {
+			t.Errorf("tol=%g: error %g", tol, err)
+		}
+		if u.Cols != v.Cols {
+			t.Error("factor rank mismatch")
+		}
+	}
+}
+
+func TestNilRngPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Decompose(dense.New(2, 2), Options{})
+}
+
+func TestSingularValuesCloseToExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := dense.RandomDecay(rng, 30, 30, 0.5)
+	d := Decompose(a, Options{Rank: 15, PowerIters: 2, Rng: rng})
+	// leading singular value should match ‖A‖₂ ≈ first value of the decay
+	if d.S[0] <= 0 {
+		t.Fatal("leading singular value not positive")
+	}
+	for i := 1; i < 5; i++ {
+		ratio := d.S[i] / d.S[i-1]
+		if ratio > 1.0+1e-9 {
+			t.Fatalf("singular values not descending at %d", i)
+		}
+	}
+}
+
+func BenchmarkRSVDTile70Rank16(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := dense.RandomDecay(rng, 70, 70, 0.7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Decompose(a, Options{Rank: 16, Rng: rng})
+	}
+}

@@ -1,0 +1,411 @@
+package seismic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cfloat"
+	"repro/internal/dense"
+	"repro/internal/sfc"
+)
+
+func smallOptions() Options {
+	return Options{
+		Geom: Geometry{
+			NsX: 6, NsY: 4, NrX: 5, NrY: 3,
+			Dx: 20, Dy: 20, SrcDepth: 10, RecDepth: 300,
+		},
+		Nt: 128,
+		Dt: 0.004,
+	}
+}
+
+func generateSmall(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate(smallOptions())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return ds
+}
+
+func TestGeometryIndices(t *testing.T) {
+	g := DefaultGeometry()
+	if g.NumSources() != 96 || g.NumReceivers() != 60 {
+		t.Fatalf("counts %d/%d", g.NumSources(), g.NumReceivers())
+	}
+	// round trip index ↔ grid
+	for ix := 0; ix < g.NrX; ix++ {
+		for iy := 0; iy < g.NrY; iy++ {
+			r := g.ReceiverIndex(ix, iy)
+			x, y, z := g.ReceiverPos(r)
+			if z != g.RecDepth {
+				t.Fatal("receiver depth wrong")
+			}
+			wantX := float64(g.NsX-g.NrX)/2*g.Dx + float64(ix)*g.Dx
+			wantY := float64(g.NsY-g.NrY)/2*g.Dy + float64(iy)*g.Dy
+			if math.Abs(x-wantX) > 1e-9 || math.Abs(y-wantY) > 1e-9 {
+				t.Fatalf("receiver pos (%g,%g) want (%g,%g)", x, y, wantX, wantY)
+			}
+		}
+	}
+	if _, _, z := g.SourcePos(0); z != g.SrcDepth {
+		t.Fatal("source depth wrong")
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	bad := Geometry{NsX: 0}
+	if bad.Validate() == nil {
+		t.Error("empty geometry should fail")
+	}
+	bad = DefaultGeometry()
+	bad.RecDepth = 5 // above sources
+	if bad.Validate() == nil {
+		t.Error("receivers above sources should fail")
+	}
+	if DefaultGeometry().Validate() != nil {
+		t.Error("default geometry should validate")
+	}
+}
+
+func TestWaveletSpectra(t *testing.T) {
+	w := FlatWavelet{Fmax: 45}
+	if w.Spectrum(10) != 1 {
+		t.Error("flat band should be 1")
+	}
+	if w.Spectrum(50) != 0 || w.Spectrum(-1) != 0 {
+		t.Error("out of band should be 0")
+	}
+	// taper region decreasing
+	if real(w.Spectrum(40)) >= 1 || real(w.Spectrum(44)) >= real(w.Spectrum(40)) {
+		t.Error("taper not decreasing")
+	}
+	r := RickerWavelet{F0: 15}
+	if real(r.Spectrum(15)) <= real(r.Spectrum(45)) {
+		t.Error("Ricker peak should dominate tail")
+	}
+	if r.MaxFreq() != 45 {
+		t.Error("Ricker MaxFreq")
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	m := DefaultModel(300)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+	m.WaterBottomRefl = 1.5
+	if m.Validate() == nil {
+		t.Error("r_wb >= 1 should fail")
+	}
+	m2 := DefaultModel(300)
+	m2.Interfaces[0].Depth = 100 // above seafloor
+	if m2.Validate() == nil {
+		t.Error("interface above seafloor should fail")
+	}
+}
+
+func TestVelocityAtStructure(t *testing.T) {
+	m := DefaultModel(300)
+	if m.VelocityAt(0, 100) != m.WaterVel {
+		t.Error("water column velocity wrong")
+	}
+	vShallow := m.VelocityAt(0, 400)
+	vDeep := m.VelocityAt(0, 2000)
+	if vDeep <= vShallow {
+		t.Error("velocity should increase with depth")
+	}
+	// fault throw changes interface depth
+	ifc := m.Interfaces[0]
+	if ifc.DepthAt(ifc.FaultX+50) >= ifc.DepthAt(ifc.FaultX-50) {
+		t.Error("thrust should raise the interface beyond the fault")
+	}
+}
+
+func TestTwoWayTime(t *testing.T) {
+	m := DefaultModel(300)
+	tw := m.TwoWayTime(0, 300)
+	if math.Abs(tw-2*300/1500.0) > 1e-12 {
+		t.Errorf("water TWT %g", tw)
+	}
+	if m.TwoWayTime(0, 800) <= tw {
+		t.Error("TWT must increase with depth")
+	}
+}
+
+func TestGenerateShapesAndBand(t *testing.T) {
+	ds := generateSmall(t)
+	ns, nr := 24, 15
+	if ds.NumFreqs() == 0 {
+		t.Fatal("no frequencies")
+	}
+	for fi := range ds.Freqs {
+		if ds.K[fi].Rows != ns || ds.K[fi].Cols != nr {
+			t.Fatalf("K shape %dx%d", ds.K[fi].Rows, ds.K[fi].Cols)
+		}
+		if ds.Pminus[fi].Rows != nr || ds.Pminus[fi].Cols != ns {
+			t.Fatalf("Pminus shape wrong")
+		}
+		if ds.Rtrue[fi].Rows != nr || ds.Rtrue[fi].Cols != nr {
+			t.Fatalf("Rtrue shape wrong")
+		}
+		if ds.Freqs[fi] < 2 || ds.Freqs[fi] > 45 {
+			t.Fatalf("frequency %g outside band", ds.Freqs[fi])
+		}
+	}
+}
+
+func TestReflectivitySymmetric(t *testing.T) {
+	// source-receiver reciprocity of the true local reflectivity
+	ds := generateSmall(t)
+	r := ds.Rtrue[len(ds.Rtrue)/2]
+	for i := 0; i < r.Rows; i++ {
+		for j := 0; j < r.Cols; j++ {
+			if r.At(i, j) != r.At(j, i) {
+				t.Fatalf("R not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMDCRelationHoldsExactly(t *testing.T) {
+	// P− must equal dA·R·Kᵀ by construction: verify against an
+	// independent dense computation.
+	ds := generateSmall(t)
+	fi := ds.NumFreqs() / 2
+	k := ds.K[fi]
+	r := ds.Rtrue[fi]
+	ns, nr := k.Rows, k.Cols
+	want := dense.New(nr, ns)
+	for s := 0; s < ns; s++ {
+		for rr := 0; rr < nr; rr++ {
+			var acc complex128
+			for v := 0; v < nr; v++ {
+				acc += complex128(r.At(rr, v)) * complex128(k.At(s, v))
+			}
+			want.Set(rr, s, complex64(acc*complex(ds.DArea, 0)))
+		}
+	}
+	if err := dense.RelError(ds.Pminus[fi], want); err > 1e-4 {
+		t.Errorf("MDC relation violated: %g", err)
+	}
+}
+
+func TestDowngoingContainsMultiples(t *testing.T) {
+	// with more multiple terms the kernel changes: the series is active
+	o := smallOptions()
+	o.NMultiples = 1
+	ds1, err := Generate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.NMultiples = 4
+	ds4, err := Generate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := ds1.NumFreqs() / 2
+	if dense.RelError(ds1.K[fi], ds4.K[fi]) < 1e-6 {
+		t.Error("multiple series has no effect on K")
+	}
+}
+
+func TestKernelDecaysWithOffset(t *testing.T) {
+	// geometric spreading: |K| for the farthest source-receiver pair must
+	// be smaller than for the nearest at the same frequency
+	ds := generateSmall(t)
+	k := ds.K[0]
+	g := ds.Geom
+	// receiver 0; nearest vs farthest source
+	r := 0
+	near := ds.nearestSource(r)
+	rx, ry, _ := g.ReceiverPos(r)
+	far, fard := 0, -1.0
+	for s := 0; s < g.NumSources(); s++ {
+		sx, sy, _ := g.SourcePos(s)
+		d := (sx-rx)*(sx-rx) + (sy-ry)*(sy-ry)
+		if d > fard {
+			fard, far = d, s
+		}
+	}
+	an := cfloat.Nrm2([]complex64{k.At(near, r)})
+	af := cfloat.Nrm2([]complex64{k.At(far, r)})
+	if af >= an {
+		t.Errorf("no spreading decay: near %g far %g", an, af)
+	}
+}
+
+func TestTimeSeriesSpectrumRoundTrip(t *testing.T) {
+	// Spectrum ∘ TimeSeries is identity on in-band coefficients
+	ds := generateSmall(t)
+	nfreq := len(ds.FreqIdx)
+	spec := make([]complex64, nfreq)
+	for i := range spec {
+		spec[i] = complex(float32(i+1), float32(nfreq-i))
+	}
+	tr := ds.TimeSeries(spec)
+	if len(tr) != ds.Nt {
+		t.Fatalf("trace length %d", len(tr))
+	}
+	back := ds.Spectrum(tr)
+	for i := range spec {
+		d := back[i] - spec[i]
+		if math.Hypot(float64(real(d)), float64(imag(d))) > 1e-3*float64(nfreq) {
+			t.Fatalf("round trip failed at %d: %v vs %v", i, back[i], spec[i])
+		}
+	}
+}
+
+func TestDirectArrivalTime(t *testing.T) {
+	// The direct water-path arrival for a co-located source/receiver pair
+	// must appear near t = (zw − zs)/c.
+	o := smallOptions()
+	o.NMultiples = 0 // direct + ghost only
+	ds, err := Generate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ds.Geom.ReceiverIndex(2, 1)
+	s := ds.nearestSource(r)
+	spec := make([]complex64, len(ds.FreqIdx))
+	for f := range ds.FreqIdx {
+		spec[f] = ds.K[f].At(s, r)
+	}
+	tr := ds.TimeSeries(spec)
+	// find the peak |amplitude|
+	best, bi := 0.0, 0
+	for i, v := range tr {
+		if a := math.Abs(v); a > best {
+			best, bi = a, i
+		}
+	}
+	tPeak := float64(bi) * ds.Dt
+	tWant := (ds.Geom.RecDepth - ds.Geom.SrcDepth) / ds.Model.WaterVel
+	if math.Abs(tPeak-tWant) > 0.05 {
+		t.Errorf("direct arrival at %g s, want ≈ %g s", tPeak, tWant)
+	}
+}
+
+func TestReorderPreservesMDCRelation(t *testing.T) {
+	// after Hilbert reordering, P− = dA·R·Kᵀ must still hold (the
+	// permutations are applied consistently)
+	ds := generateSmall(t)
+	rds, ord := ds.Reorder(sfc.Hilbert)
+	if ord.Order != sfc.Hilbert {
+		t.Fatal("ordering metadata wrong")
+	}
+	fi := rds.NumFreqs() / 2
+	k := rds.K[fi]
+	r := rds.Rtrue[fi]
+	ns, nr := k.Rows, k.Cols
+	want := dense.New(nr, ns)
+	for s := 0; s < ns; s++ {
+		for rr := 0; rr < nr; rr++ {
+			var acc complex128
+			for v := 0; v < nr; v++ {
+				acc += complex128(r.At(rr, v)) * complex128(k.At(s, v))
+			}
+			want.Set(rr, s, complex64(acc*complex(ds.DArea, 0)))
+		}
+	}
+	if err := dense.RelError(rds.Pminus[fi], want); err > 1e-4 {
+		t.Errorf("reordered MDC relation violated: %g", err)
+	}
+}
+
+func TestReorderIsPermutationOfOriginal(t *testing.T) {
+	ds := generateSmall(t)
+	rds, ord := ds.Reorder(sfc.Hilbert)
+	fi := 0
+	inv := sfc.Inverse(ord.SrcPerm)
+	// row inv[s] of reordered K is row s of original at permuted columns
+	for s := 0; s < 4; s++ {
+		for v := 0; v < 4; v++ {
+			if rds.K[fi].At(inv[s], v) != ds.K[fi].At(s, ord.RecPerm[v]) {
+				t.Fatalf("reorder mismatch at (%d,%d)", s, v)
+			}
+		}
+	}
+}
+
+func TestNMSE(t *testing.T) {
+	a := []complex64{1, 2}
+	if NMSE(a, a) != 0 {
+		t.Error("NMSE(a,a) != 0")
+	}
+	b := []complex64{0, 0}
+	if NMSE(a, b) != 5 {
+		t.Errorf("NMSE against zero = %g, want Σ|a|² = 5", NMSE(a, b))
+	}
+	if NMSEReal([]float64{1, 1}, []float64{1, 1}) != 0 {
+		t.Error("NMSEReal identity")
+	}
+}
+
+func TestGatherHelpers(t *testing.T) {
+	g := &Gather{Traces: [][]float64{{0, 3, 0, 1}, {0, 0, 2, 0}}, Dt: 0.5}
+	if g.NumTraces() != 2 {
+		t.Error("NumTraces")
+	}
+	if g.MaxAbs() != 3 {
+		t.Error("MaxAbs")
+	}
+	if math.Abs(g.Energy()-(9+1+4)) > 1e-12 {
+		t.Error("Energy")
+	}
+	// window [0.5, 1.5) covers samples 1 and 2
+	if math.Abs(g.WindowEnergy(0.5, 1.5)-(9+4)) > 1e-12 {
+		t.Errorf("WindowEnergy = %g", g.WindowEnergy(0.5, 1.5))
+	}
+	if len(g.Flatten()) != 8 {
+		t.Error("Flatten length")
+	}
+}
+
+func TestZeroOffsetSection(t *testing.T) {
+	ds := generateSmall(t)
+	sec := ds.ZeroOffsetSection(1, func(f, r, s int) complex64 {
+		return ds.Pminus[f].At(r, s)
+	})
+	if sec.NumTraces() != ds.Geom.NrX {
+		t.Fatalf("section has %d traces", sec.NumTraces())
+	}
+	if sec.Energy() == 0 {
+		t.Error("zero-offset section is empty")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	o := smallOptions()
+	o.Geom.Dx = -1
+	if _, err := Generate(o); err == nil {
+		t.Error("bad geometry should error")
+	}
+	o = smallOptions()
+	o.Model = DefaultModel(500) // mismatched water depth
+	if _, err := Generate(o); err == nil {
+		t.Error("model/geometry depth mismatch should error")
+	}
+	o = smallOptions()
+	o.FMin = 100 // above band
+	if _, err := Generate(o); err == nil {
+		t.Error("empty band should error")
+	}
+}
+
+func TestKernelBytes(t *testing.T) {
+	ds := generateSmall(t)
+	want := int64(ds.NumFreqs()) * 24 * 15 * 8
+	if ds.KernelBytes() != want {
+		t.Errorf("KernelBytes %d want %d", ds.KernelBytes(), want)
+	}
+}
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	o := smallOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Generate(o)
+	}
+}

@@ -1,0 +1,87 @@
+package seismic
+
+import (
+	"fmt"
+	"math"
+)
+
+// NMOStack implements the "simple stacking procedure" of §6.4 (Fig. 13's
+// last panel): traces sharing a source-to-receiver midpoint are corrected
+// for normal moveout with velocity vel and summed, suppressing the
+// incoherent noise of individual deconvolved zero-offset traces.
+//
+// traces[i] is a time series recorded at offset offsets[i] metres; all
+// traces share the midpoint. The result is the stacked zero-offset trace.
+func NMOStack(traces [][]float64, offsets []float64, dt, vel float64) ([]float64, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("seismic: NMOStack with no traces")
+	}
+	if len(traces) != len(offsets) {
+		return nil, fmt.Errorf("seismic: %d traces but %d offsets", len(traces), len(offsets))
+	}
+	if dt <= 0 || vel <= 0 {
+		return nil, fmt.Errorf("seismic: nonpositive dt or velocity")
+	}
+	nt := len(traces[0])
+	for i, tr := range traces {
+		if len(tr) != nt {
+			return nil, fmt.Errorf("seismic: trace %d has %d samples, want %d", i, len(tr), nt)
+		}
+	}
+	out := make([]float64, nt)
+	fold := make([]float64, nt)
+	for i, tr := range traces {
+		x := offsets[i]
+		for t0Idx := 0; t0Idx < nt; t0Idx++ {
+			// zero-offset time t0 maps to offset time t(x) = √(t0² + x²/v²)
+			t0 := float64(t0Idx) * dt
+			tx := math.Sqrt(t0*t0 + (x*x)/(vel*vel))
+			// linear interpolation of the input trace at tx
+			pos := tx / dt
+			j := int(pos)
+			if j+1 >= nt {
+				continue
+			}
+			frac := pos - float64(j)
+			v := tr[j]*(1-frac) + tr[j+1]*frac
+			// NMO stretch mute: drop samples stretched by more than 50%
+			if t0 > 0 && tx/t0 > 1.5 {
+				continue
+			}
+			out[t0Idx] += v
+			fold[t0Idx]++
+		}
+	}
+	for i := range out {
+		if fold[i] > 0 {
+			out[i] /= fold[i]
+		}
+	}
+	return out, nil
+}
+
+// MidpointGather collects, for a fixed midpoint inline index on the
+// receiver grid's crossline iy, the reflectivity traces between receiver
+// pairs symmetric about the midpoint, with their offsets — the input
+// NMOStack needs. pick(f, a, b) returns the frequency-f reflectivity
+// between receiver indices a (virtual source) and b.
+func (ds *Dataset) MidpointGather(midIX, iy, maxHalf int, pick func(f, a, b int) complex64) ([][]float64, []float64) {
+	g := ds.Geom
+	var traces [][]float64
+	var offsets []float64
+	spec := make([]complex64, len(ds.FreqIdx))
+	for h := 0; h <= maxHalf; h++ {
+		ia, ib := midIX-h, midIX+h
+		if ia < 0 || ib >= g.NrX {
+			break
+		}
+		a := g.ReceiverIndex(ia, iy)
+		b := g.ReceiverIndex(ib, iy)
+		for f := range ds.FreqIdx {
+			spec[f] = pick(f, a, b)
+		}
+		traces = append(traces, ds.TimeSeries(spec))
+		offsets = append(offsets, float64(2*h)*g.Dx)
+	}
+	return traces, offsets
+}

@@ -1,0 +1,147 @@
+package seismic
+
+import (
+	"math"
+	"testing"
+)
+
+// synthetic hyperbolic event: amplitude 1 pulse at t(x) = √(t0² + x²/v²)
+func hyperbolicTraces(t0 float64, offsets []float64, vel, dt float64, nt int) [][]float64 {
+	out := make([][]float64, len(offsets))
+	for i, x := range offsets {
+		tr := make([]float64, nt)
+		tx := math.Sqrt(t0*t0 + x*x/(vel*vel))
+		idx := int(tx / dt)
+		if idx < nt {
+			tr[idx] = 1
+		}
+		out[i] = tr
+	}
+	return out
+}
+
+func TestNMOStackFlattensHyperbola(t *testing.T) {
+	dt, vel, t0 := 0.004, 1500.0, 0.4
+	offsets := []float64{0, 100, 200, 300, 400}
+	nt := 256
+	traces := hyperbolicTraces(t0, offsets, vel, dt, nt)
+	stack, err := NMOStack(traces, offsets, dt, vel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the stacked peak must sit at t0, and be much larger than any
+	// residual elsewhere (the event aligns across offsets)
+	peakIdx := 0
+	peak := 0.0
+	for i, v := range stack {
+		if math.Abs(v) > peak {
+			peak, peakIdx = math.Abs(v), i
+		}
+	}
+	if math.Abs(float64(peakIdx)*dt-t0) > 0.012 {
+		t.Errorf("stacked peak at %.3f s, want %.3f s", float64(peakIdx)*dt, t0)
+	}
+	// coherent alignment: peak of the stack should approach the single-
+	// trace amplitude (within interpolation loss)
+	if peak < 0.5 {
+		t.Errorf("stack peak %.3f too weak: event not flattened", peak)
+	}
+}
+
+func TestNMOStackWrongVelocitySmears(t *testing.T) {
+	dt, vel, t0 := 0.004, 1500.0, 0.4
+	offsets := []float64{0, 150, 300, 450}
+	nt := 256
+	traces := hyperbolicTraces(t0, offsets, vel, dt, nt)
+	good, err := NMOStack(traces, offsets, dt, vel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := NMOStack(traces, offsets, dt, vel*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxAbs := func(x []float64) float64 {
+		var m float64
+		for _, v := range x {
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+		return m
+	}
+	if maxAbs(bad) >= maxAbs(good) {
+		t.Errorf("wrong velocity stacked better (%.3f) than correct (%.3f)",
+			maxAbs(bad), maxAbs(good))
+	}
+}
+
+func TestNMOStackValidation(t *testing.T) {
+	if _, err := NMOStack(nil, nil, 0.004, 1500); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := NMOStack([][]float64{{1}}, []float64{0, 1}, 0.004, 1500); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := NMOStack([][]float64{{1}}, []float64{0}, 0, 1500); err == nil {
+		t.Error("zero dt should fail")
+	}
+	if _, err := NMOStack([][]float64{{1, 2}, {1}}, []float64{0, 10}, 0.004, 1500); err == nil {
+		t.Error("ragged traces should fail")
+	}
+}
+
+func TestMidpointGather(t *testing.T) {
+	ds := generateSmall(t)
+	mid := ds.Geom.NrX / 2
+	traces, offsets := ds.MidpointGather(mid, 1, 2, func(f, a, b int) complex64 {
+		return ds.Rtrue[f].At(a, b)
+	})
+	if len(traces) != len(offsets) {
+		t.Fatal("traces/offsets mismatch")
+	}
+	if len(traces) < 2 {
+		t.Fatalf("only %d offset pairs", len(traces))
+	}
+	if offsets[0] != 0 {
+		t.Errorf("first offset %g, want 0", offsets[0])
+	}
+	if offsets[1] != 2*ds.Geom.Dx {
+		t.Errorf("second offset %g, want %g", offsets[1], 2*ds.Geom.Dx)
+	}
+	for _, tr := range traces {
+		if len(tr) != ds.Nt {
+			t.Fatal("trace length wrong")
+		}
+	}
+}
+
+func TestMidpointStackEndToEnd(t *testing.T) {
+	// stack the true reflectivity around a midpoint: the stacked trace
+	// must keep the primary events (compare against the zero-offset trace)
+	ds := generateSmall(t)
+	mid := ds.Geom.NrX / 2
+	iy := 1
+	traces, offsets := ds.MidpointGather(mid, iy, 2, func(f, a, b int) complex64 {
+		return ds.Rtrue[f].At(a, b)
+	})
+	stack, err := NMOStack(traces, offsets, ds.Dt, ds.Model.SubVel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zo := traces[0] // zero-offset member
+	// correlation between stack and zero-offset trace should be high
+	var dot, na, nb float64
+	for i := range stack {
+		dot += stack[i] * zo[i]
+		na += stack[i] * stack[i]
+		nb += zo[i] * zo[i]
+	}
+	if na == 0 || nb == 0 {
+		t.Fatal("degenerate traces")
+	}
+	corr := dot / math.Sqrt(na*nb)
+	if corr < 0.6 {
+		t.Errorf("stack/zero-offset correlation %.3f too low", corr)
+	}
+}

@@ -1,0 +1,64 @@
+package seismic
+
+import "math"
+
+// Wavelet is a source-time-function spectrum evaluated at angular
+// frequency; implementations return the complex spectral amplitude.
+type Wavelet interface {
+	// Spectrum returns the wavelet's amplitude at frequency f (Hz).
+	Spectrum(f float64) complex128
+	// MaxFreq returns the highest frequency with significant energy (Hz).
+	MaxFreq() float64
+}
+
+// FlatWavelet has a flat amplitude spectrum up to Fmax with a raised-cosine
+// taper — the "flat wavelet up to 45 Hz" of §6.1.
+type FlatWavelet struct {
+	// Fmax is the band edge in Hz (paper: 45).
+	Fmax float64
+	// TaperFrac is the fraction of the band tapered at the top (default
+	// 0.2 when zero).
+	TaperFrac float64
+}
+
+// Spectrum implements Wavelet.
+func (w FlatWavelet) Spectrum(f float64) complex128 {
+	if f < 0 || f > w.Fmax {
+		return 0
+	}
+	taper := w.TaperFrac
+	if taper == 0 {
+		taper = 0.2
+	}
+	edge := w.Fmax * (1 - taper)
+	if f <= edge {
+		return 1
+	}
+	// raised cosine from edge to Fmax
+	t := (f - edge) / (w.Fmax - edge)
+	return complex(0.5*(1+math.Cos(math.Pi*t)), 0)
+}
+
+// MaxFreq implements Wavelet.
+func (w FlatWavelet) MaxFreq() float64 { return w.Fmax }
+
+// RickerWavelet is the classical Ricker (Mexican-hat) wavelet with peak
+// frequency F0, provided for the examples that prefer a pulse-like source.
+type RickerWavelet struct {
+	// F0 is the peak frequency in Hz.
+	F0 float64
+}
+
+// Spectrum implements Wavelet: the Ricker amplitude spectrum
+// (2/√π)·(f²/f0³)·exp(−f²/f0²).
+func (w RickerWavelet) Spectrum(f float64) complex128 {
+	if f < 0 {
+		return 0
+	}
+	r := f / w.F0
+	a := 2 / math.SqrtPi * r * r / w.F0 * math.Exp(-r*r)
+	return complex(a, 0)
+}
+
+// MaxFreq implements Wavelet: energy above ~3·F0 is negligible.
+func (w RickerWavelet) MaxFreq() float64 { return 3 * w.F0 }

@@ -1,0 +1,66 @@
+package tlr
+
+import (
+	"repro/internal/batch"
+	"repro/internal/cfloat"
+)
+
+// MulVecBatched computes y = A x by expressing the two TLR-MVM phases as
+// variable-size MVM batches and running them on the batch engine — the
+// execution style the paper says vendor libraries lack for variable ranks
+// and complex types (§4). Phase 1 batches every tile's Vᴴ product; phase 3
+// batches every tile's U product into per-tile scratch segments, which are
+// then reduced into y (batch members must write disjoint outputs).
+// workers <= 0 uses GOMAXPROCS.
+func (t *Matrix) MulVecBatched(x, y []complex64, workers int) error {
+	if len(x) < t.N || len(y) < t.M {
+		panic("tlr: MulVecBatched vector too short")
+	}
+	nTiles := t.MT * t.NT
+	// phase 1: yv[i*NT+j] = V_{ij}ᴴ x_j
+	yv := make([][]complex64, nTiles)
+	tasks := make([]batch.MVM, 0, nTiles)
+	for j := 0; j < t.NT; j++ {
+		xj := x[j*t.NB : j*t.NB+t.tileCols(j)]
+		for i := 0; i < t.MT; i++ {
+			tile := t.Tile(i, j)
+			out := make([]complex64, tile.Rank())
+			yv[i*t.NT+j] = out
+			tasks = append(tasks, batch.MVM{
+				Oper: batch.OpC, M: tile.V.Rows, N: tile.V.Cols, Alpha: 1,
+				A: tile.V.Data, LDA: tile.V.Stride, X: xj, Y: out,
+			})
+		}
+	}
+	if err := batch.Run(tasks, batch.Options{Workers: workers}); err != nil {
+		return err
+	}
+	// phase 3: per-tile partial outputs, then a host-style reduction
+	partials := make([][]complex64, nTiles)
+	tasks = tasks[:0]
+	for i := 0; i < t.MT; i++ {
+		rows := t.tileRows(i)
+		for j := 0; j < t.NT; j++ {
+			tile := t.Tile(i, j)
+			out := make([]complex64, rows)
+			partials[i*t.NT+j] = out
+			tasks = append(tasks, batch.MVM{
+				Oper: batch.OpN, M: tile.U.Rows, N: tile.U.Cols, Alpha: 1,
+				A: tile.U.Data, LDA: tile.U.Stride, X: yv[i*t.NT+j], Y: out,
+			})
+		}
+	}
+	if err := batch.Run(tasks, batch.Options{Workers: workers}); err != nil {
+		return err
+	}
+	for i := 0; i < t.MT; i++ {
+		yi := y[i*t.NB : i*t.NB+t.tileRows(i)]
+		for k := range yi {
+			yi[k] = 0
+		}
+		for j := 0; j < t.NT; j++ {
+			cfloat.Axpy(1, partials[i*t.NT+j], yi)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,442 @@
+// Package tlr implements the tile low-rank (TLR) matrix format and the
+// TLR-MVM kernel at the heart of the paper. A matrix is split into nb×nb
+// tiles (Fig. 2), each tile is compressed independently into a product
+// U·Vᴴ of rank-k bases (Fig. 3), and the bases are stacked contiguously in
+// memory (Fig. 4). The matrix-vector product then proceeds in three
+// phases: a batched MVM over the V bases (Fig. 5), a memory shuffle that
+// projects from the V to the U ordering (Fig. 6), and a batched MVM over
+// the U bases (Fig. 7).
+//
+// The package provides both a sequential reference implementation and a
+// goroutine-parallel one (phase 1 parallel over tile columns, phase 3 over
+// tile rows), plus the adjoint product needed by LSQR-based inversion.
+package tlr
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/aca"
+	"repro/internal/cfloat"
+	"repro/internal/dense"
+	"repro/internal/qr"
+	"repro/internal/rsvd"
+	"repro/internal/svd"
+)
+
+// Method selects the per-tile compression algorithm.
+type Method int
+
+const (
+	// MethodSVD uses an exact truncated SVD (one-sided Jacobi).
+	MethodSVD Method = iota
+	// MethodRRQR uses rank-revealing QR with column pivoting.
+	MethodRRQR
+	// MethodRSVD uses the randomized SVD.
+	MethodRSVD
+	// MethodACA uses adaptive cross approximation.
+	MethodACA
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodSVD:
+		return "svd"
+	case MethodRRQR:
+		return "rrqr"
+	case MethodRSVD:
+		return "rsvd"
+	case MethodACA:
+		return "aca"
+	}
+	return "unknown"
+}
+
+// Tile is one compressed nb×nb (edge tiles may be smaller) block:
+// A_tile ≈ U·Vᴴ with U rows×k and V cols×k. The singular values are folded
+// into U, matching the stacked-bases storage of the paper.
+type Tile struct {
+	U *dense.Matrix
+	V *dense.Matrix
+}
+
+// Rank returns the tile's approximation rank.
+func (t *Tile) Rank() int { return t.U.Cols }
+
+// Bytes returns the compressed footprint of the tile (U and V elements,
+// 8 bytes per complex64).
+func (t *Tile) Bytes() int64 { return t.U.Bytes() + t.V.Bytes() }
+
+// Matrix is an M×N tile low-rank matrix with uniform tile size NB.
+// Tiles are stored row-major in the tile grid: Tiles[i*NT+j] is tile (i,j)
+// covering rows [i·NB, min((i+1)·NB, M)) and the analogous columns.
+type Matrix struct {
+	M, N  int
+	NB    int
+	MT    int // number of tile rows
+	NT    int // number of tile columns
+	Tiles []*Tile
+}
+
+// Options configures TLR compression.
+type Options struct {
+	// NB is the uniform tile size (the paper's nb; 25, 50, or 70).
+	NB int
+	// Tol is the per-tile relative Frobenius accuracy (the paper's acc).
+	Tol float64
+	// Method selects the compressor (default SVD).
+	Method Method
+	// MaxRank caps per-tile rank (0 = no cap).
+	MaxRank int
+	// Rng is required for MethodRSVD.
+	Rng *rand.Rand
+	// Workers sets the compression parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Compress builds a TLR approximation of the dense matrix a.
+func Compress(a *dense.Matrix, opts Options) (*Matrix, error) {
+	if opts.NB <= 0 {
+		return nil, fmt.Errorf("tlr: tile size NB must be positive, got %d", opts.NB)
+	}
+	if opts.Tol < 0 {
+		return nil, fmt.Errorf("tlr: negative tolerance %g", opts.Tol)
+	}
+	if opts.Method == MethodRSVD && opts.Rng == nil {
+		return nil, fmt.Errorf("tlr: MethodRSVD requires Options.Rng")
+	}
+	switch opts.Method {
+	case MethodSVD, MethodRRQR, MethodRSVD, MethodACA:
+	default:
+		return nil, fmt.Errorf("tlr: unknown compression method %d", opts.Method)
+	}
+	m, n, nb := a.Rows, a.Cols, opts.NB
+	mt := (m + nb - 1) / nb
+	nt := (n + nb - 1) / nb
+	t := &Matrix{M: m, N: n, NB: nb, MT: mt, NT: nt, Tiles: make([]*Tile, mt*nt)}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct{ i, j int }
+	// fully buffered so an early worker exit can never block the producer
+	jobs := make(chan job, mt*nt)
+	for i := 0; i < mt; i++ {
+		for j := 0; j < nt; j++ {
+			jobs <- job{i, j}
+		}
+	}
+	close(jobs)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		// each worker gets an independent rng stream for RSVD determinism
+		var wrng *rand.Rand
+		if opts.Rng != nil {
+			wrng = rand.New(rand.NewSource(opts.Rng.Int63()))
+		}
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				i0, i1 := jb.i*nb, min((jb.i+1)*nb, m)
+				j0, j1 := jb.j*nb, min((jb.j+1)*nb, n)
+				block := a.Slice(i0, i1, j0, j1)
+				tile, err := compressTile(block, opts, wrng)
+				if err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+				t.Tiles[jb.i*nt+jb.j] = tile
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return t, nil
+}
+
+func compressTile(block *dense.Matrix, opts Options, rng *rand.Rand) (*Tile, error) {
+	switch opts.Method {
+	case MethodSVD:
+		d := svd.Decompose(block)
+		k := d.Rank(opts.Tol)
+		if opts.MaxRank > 0 && k > opts.MaxRank {
+			k = opts.MaxRank
+		}
+		u, v := d.Truncate(k)
+		return &Tile{U: u, V: v}, nil
+	case MethodRRQR:
+		f := qr.RRQR(block, opts.Tol, opts.MaxRank)
+		// A P = Q R ⇒ A ≈ Q (R Pᵀ); store U = Q, V = (R Pᵀ)ᴴ
+		r := f.R
+		vp := dense.New(block.Cols, f.Rank())
+		for j := 0; j < r.Cols; j++ {
+			orig := f.Piv[j]
+			for i := 0; i < r.Rows; i++ {
+				x := r.At(i, j)
+				vp.Set(orig, i, complex(real(x), -imag(x)))
+			}
+		}
+		return &Tile{U: f.Q.Clone(), V: vp}, nil
+	case MethodRSVD:
+		maxR := opts.MaxRank
+		if maxR == 0 {
+			maxR = min(block.Rows, block.Cols)
+		}
+		u, v := rsvd.Compress(block, opts.Tol, maxR, rng)
+		return &Tile{U: u, V: v}, nil
+	case MethodACA:
+		res := aca.Compress(block, opts.Tol, opts.MaxRank)
+		return &Tile{U: res.U, V: res.V}, nil
+	}
+	return nil, fmt.Errorf("tlr: unknown compression method %d", opts.Method)
+}
+
+// Tile returns tile (i, j).
+func (t *Matrix) Tile(i, j int) *Tile { return t.Tiles[i*t.NT+j] }
+
+// tileRows returns the row extent of tile row i.
+func (t *Matrix) tileRows(i int) int { return min((i+1)*t.NB, t.M) - i*t.NB }
+
+// tileCols returns the column extent of tile column j.
+func (t *Matrix) tileCols(j int) int { return min((j+1)*t.NB, t.N) - j*t.NB }
+
+// MaxRank returns the largest tile rank.
+func (t *Matrix) MaxRank() int {
+	var m int
+	for _, tile := range t.Tiles {
+		if r := tile.Rank(); r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// TotalRank returns the sum of all tile ranks (the size of the intermediate
+// Yv/Yu vectors of the shuffle phase).
+func (t *Matrix) TotalRank() int {
+	var s int
+	for _, tile := range t.Tiles {
+		s += tile.Rank()
+	}
+	return s
+}
+
+// AvgRank returns the mean tile rank.
+func (t *Matrix) AvgRank() float64 {
+	if len(t.Tiles) == 0 {
+		return 0
+	}
+	return float64(t.TotalRank()) / float64(len(t.Tiles))
+}
+
+// CompressedBytes returns the total footprint of all U and V bases.
+func (t *Matrix) CompressedBytes() int64 {
+	var b int64
+	for _, tile := range t.Tiles {
+		b += tile.Bytes()
+	}
+	return b
+}
+
+// DenseBytes returns the footprint of the dense equivalent.
+func (t *Matrix) DenseBytes() int64 { return int64(t.M) * int64(t.N) * 8 }
+
+// CompressionRatio returns dense/compressed size (the paper reports 7X for
+// acc=1e-4 with Hilbert ordering).
+func (t *Matrix) CompressionRatio() float64 {
+	cb := t.CompressedBytes()
+	if cb == 0 {
+		return 0
+	}
+	return float64(t.DenseBytes()) / float64(cb)
+}
+
+// Reconstruct forms the dense matrix approximated by the TLR format.
+func (t *Matrix) Reconstruct() *dense.Matrix {
+	out := dense.New(t.M, t.N)
+	for i := 0; i < t.MT; i++ {
+		for j := 0; j < t.NT; j++ {
+			tile := t.Tile(i, j)
+			block := dense.Mul(tile.U, tile.V.ConjTranspose())
+			for jj := 0; jj < block.Cols; jj++ {
+				dst := out.Col(j*t.NB + jj)[i*t.NB : i*t.NB+block.Rows]
+				copy(dst, block.Col(jj))
+			}
+		}
+	}
+	return out
+}
+
+// MulVec computes y = A x via the three-phase TLR-MVM, sequentially.
+// x must have length N, y length M.
+func (t *Matrix) MulVec(x, y []complex64) {
+	t.mulVec(x, y, 1)
+}
+
+// MulVecParallel computes y = A x with phases 1 and 3 parallelized over
+// tile columns and rows respectively. workers <= 0 uses GOMAXPROCS.
+func (t *Matrix) MulVecParallel(x, y []complex64, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t.mulVec(x, y, workers)
+}
+
+func (t *Matrix) mulVec(x, y []complex64, workers int) {
+	if len(x) < t.N || len(y) < t.M {
+		panic("tlr: MulVec vector too short")
+	}
+	// Phase 1 (Fig. 5): V-batch. For each tile (i,j):
+	//   yv[i][j] = V_{ij}ᴴ · x_j        (length = rank of the tile)
+	yv := make([][]complex64, t.MT*t.NT)
+	phase1 := func(j int) {
+		xj := x[j*t.NB : j*t.NB+t.tileCols(j)]
+		for i := 0; i < t.MT; i++ {
+			tile := t.Tile(i, j)
+			out := make([]complex64, tile.Rank())
+			tile.V.MulVecConjTrans(xj, out)
+			yv[i*t.NT+j] = out
+		}
+	}
+	runIndexed(t.NT, workers, phase1)
+	// Phase 2 (Fig. 6): shuffle. In this in-memory implementation the
+	// shuffle is the re-indexing of yv from column-major traversal to
+	// row-major consumption — made explicit on the CS-2 mapping where it
+	// would cost fabric traffic (package wse removes it).
+	// Phase 3 (Fig. 7): U-batch. y_i = Σ_j U_{ij} · yv[i][j].
+	phase3 := func(i int) {
+		yi := y[i*t.NB : i*t.NB+t.tileRows(i)]
+		for k := range yi {
+			yi[k] = 0
+		}
+		for j := 0; j < t.NT; j++ {
+			tile := t.Tile(i, j)
+			cfloat.Gemv(cfloat.NoTrans, tile.U.Rows, tile.U.Cols, 1,
+				tile.U.Data, tile.U.Stride, yv[i*t.NT+j], 1, yi)
+		}
+	}
+	runIndexed(t.MT, workers, phase3)
+}
+
+// MulVecConjTrans computes y = Aᴴ x: the adjoint TLR-MVM required by the
+// LSQR solver. Tile (i,j) ≈ U Vᴴ contributes V (Uᴴ x_i) to output block j.
+// x must have length M, y length N.
+func (t *Matrix) MulVecConjTrans(x, y []complex64) {
+	t.mulVecConjTrans(x, y, 1)
+}
+
+// MulVecConjTransParallel is the parallel adjoint product.
+func (t *Matrix) MulVecConjTransParallel(x, y []complex64, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t.mulVecConjTrans(x, y, workers)
+}
+
+func (t *Matrix) mulVecConjTrans(x, y []complex64, workers int) {
+	if len(x) < t.M || len(y) < t.N {
+		panic("tlr: MulVecConjTrans vector too short")
+	}
+	// adjoint phase 1: yu[i][j] = U_{ij}ᴴ · x_i
+	yu := make([][]complex64, t.MT*t.NT)
+	p1 := func(i int) {
+		xi := x[i*t.NB : i*t.NB+t.tileRows(i)]
+		for j := 0; j < t.NT; j++ {
+			tile := t.Tile(i, j)
+			out := make([]complex64, tile.Rank())
+			tile.U.MulVecConjTrans(xi, out)
+			yu[i*t.NT+j] = out
+		}
+	}
+	runIndexed(t.MT, workers, p1)
+	// adjoint phase 3: y_j = Σ_i V_{ij} · yu[i][j]
+	p3 := func(j int) {
+		yj := y[j*t.NB : j*t.NB+t.tileCols(j)]
+		for k := range yj {
+			yj[k] = 0
+		}
+		for i := 0; i < t.MT; i++ {
+			tile := t.Tile(i, j)
+			cfloat.Gemv(cfloat.NoTrans, tile.V.Rows, tile.V.Cols, 1,
+				tile.V.Data, tile.V.Stride, yu[i*t.NT+j], 1, yj)
+		}
+	}
+	runIndexed(t.NT, workers, p3)
+}
+
+// runIndexed executes f(0..n-1), optionally across workers goroutines.
+func runIndexed(n, workers int, f func(int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	for w := 0; w < min(workers, n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ColumnStackedSizes returns, for each tile column j, the total stacked V
+// rank Σ_i k_{ij} — the height of the stacked V base of Fig. 4/9 that the
+// CS-2 mapping distributes over PEs.
+func (t *Matrix) ColumnStackedSizes() []int {
+	out := make([]int, t.NT)
+	for j := 0; j < t.NT; j++ {
+		for i := 0; i < t.MT; i++ {
+			out[j] += t.Tile(i, j).Rank()
+		}
+	}
+	return out
+}
+
+// RowStackedSizes returns, for each tile row i, the total stacked U rank
+// Σ_j k_{ij}.
+func (t *Matrix) RowStackedSizes() []int {
+	out := make([]int, t.MT)
+	for i := 0; i < t.MT; i++ {
+		for j := 0; j < t.NT; j++ {
+			out[i] += t.Tile(i, j).Rank()
+		}
+	}
+	return out
+}
+
+// Ranks returns the mt×nt rank map (row-major), used by the CS-2 shard
+// planner and by rank-distribution diagnostics.
+func (t *Matrix) Ranks() []int {
+	out := make([]int, len(t.Tiles))
+	for i, tile := range t.Tiles {
+		out[i] = tile.Rank()
+	}
+	return out
+}
+
+func (t *Matrix) String() string {
+	return fmt.Sprintf("tlr.Matrix(%dx%d, nb=%d, tiles=%dx%d, maxRank=%d, ratio=%.2fx)",
+		t.M, t.N, t.NB, t.MT, t.NT, t.MaxRank(), t.CompressionRatio())
+}

@@ -1,0 +1,405 @@
+package tlr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cfloat"
+	"repro/internal/dense"
+)
+
+// decayMatrix builds a test matrix whose tiles have low numerical rank,
+// mimicking a Hilbert-sorted seismic frequency slice: smooth oscillatory
+// kernel with distance decay.
+func decayMatrix(rng *rand.Rand, m, n int) *dense.Matrix {
+	a := dense.New(m, n)
+	// sum of a few smooth outer products + small noise
+	terms := 6
+	for t := 0; t < terms; t++ {
+		fu := 0.5 + rng.Float64()*2
+		fv := 0.5 + rng.Float64()*2
+		amp := math.Pow(0.5, float64(t))
+		pu := rng.Float64() * math.Pi
+		pv := rng.Float64() * math.Pi
+		for j := 0; j < n; j++ {
+			vj := complex(amp*math.Cos(fv*float64(j)/float64(n)*math.Pi+pv),
+				amp*math.Sin(fv*float64(j)/float64(n)*math.Pi+pv))
+			for i := 0; i < m; i++ {
+				ui := complex(math.Cos(fu*float64(i)/float64(m)*math.Pi+pu),
+					math.Sin(fu*float64(i)/float64(m)*math.Pi+pu))
+				a.Set(i, j, a.At(i, j)+complex64(ui*vj))
+			}
+		}
+	}
+	return a
+}
+
+func compressOrDie(t *testing.T, a *dense.Matrix, opts Options) *Matrix {
+	t.Helper()
+	tm, err := Compress(a, opts)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	return tm
+}
+
+func TestCompressAccuracyAllMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := decayMatrix(rng, 96, 80)
+	for _, method := range []Method{MethodSVD, MethodRRQR, MethodRSVD, MethodACA} {
+		tol := 1e-3
+		tm := compressOrDie(t, a, Options{NB: 16, Tol: tol, Method: method, Rng: rng})
+		err := dense.RelError(tm.Reconstruct(), a)
+		// per-tile tolerance gives an aggregate bound of roughly tol
+		headroom := 5.0
+		if method == MethodACA {
+			headroom = 50 // ACA's stopping estimate is heuristic
+		}
+		if err > headroom*tol {
+			t.Errorf("%v: reconstruction error %g at tol %g", method, err, tol)
+		}
+	}
+}
+
+func TestMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range [][2]int{{64, 64}, {100, 70}, {70, 100}, {35, 35}} {
+		a := decayMatrix(rng, dims[0], dims[1])
+		tm := compressOrDie(t, a, Options{NB: 16, Tol: 1e-5})
+		x := dense.Random(rng, dims[1], 1).Data
+		yt := make([]complex64, dims[0])
+		tm.MulVec(x, yt)
+		yd := make([]complex64, dims[0])
+		a.MulVec(x, yd)
+		nrm := cfloat.Nrm2(yd)
+		diff := make([]complex64, dims[0])
+		for i := range diff {
+			diff[i] = yt[i] - yd[i]
+		}
+		if cfloat.Nrm2(diff) > 1e-3*nrm {
+			t.Errorf("%v: TLR-MVM error %g rel", dims, cfloat.Nrm2(diff)/nrm)
+		}
+	}
+}
+
+func TestMulVecParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := decayMatrix(rng, 128, 96)
+	tm := compressOrDie(t, a, Options{NB: 16, Tol: 1e-4})
+	x := dense.Random(rng, 96, 1).Data
+	ys := make([]complex64, 128)
+	tm.MulVec(x, ys)
+	yp := make([]complex64, 128)
+	tm.MulVecParallel(x, yp, 4)
+	for i := range ys {
+		if ys[i] != yp[i] {
+			// parallel phase order can reorder additions; allow tiny drift
+			d := ys[i] - yp[i]
+			if math.Hypot(float64(real(d)), float64(imag(d))) > 1e-4 {
+				t.Fatalf("parallel mismatch at %d: %v vs %v", i, ys[i], yp[i])
+			}
+		}
+	}
+}
+
+func TestMulVecConjTransMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := decayMatrix(rng, 80, 60)
+	tm := compressOrDie(t, a, Options{NB: 16, Tol: 1e-5})
+	x := dense.Random(rng, 80, 1).Data
+	yt := make([]complex64, 60)
+	tm.MulVecConjTrans(x, yt)
+	yd := make([]complex64, 60)
+	a.MulVecConjTrans(x, yd)
+	diff := make([]complex64, 60)
+	for i := range diff {
+		diff[i] = yt[i] - yd[i]
+	}
+	if rel := cfloat.Nrm2(diff) / cfloat.Nrm2(yd); rel > 1e-3 {
+		t.Errorf("adjoint TLR-MVM error %g rel", rel)
+	}
+}
+
+func TestAdjointConsistencyProperty(t *testing.T) {
+	// ⟨A x, y⟩ == ⟨x, Aᴴ y⟩ must hold for the *compressed* operator
+	// itself (not only its dense source) — the invariant LSQR requires.
+	rng := rand.New(rand.NewSource(5))
+	a := decayMatrix(rng, 48, 40)
+	tm := compressOrDie(t, a, Options{NB: 12, Tol: 1e-3})
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := dense.Random(r, 40, 1).Data
+		y := dense.Random(r, 48, 1).Data
+		ax := make([]complex64, 48)
+		tm.MulVec(x, ax)
+		aty := make([]complex64, 40)
+		tm.MulVecConjTrans(y, aty)
+		lhs := cfloat.Dotc(y, ax)
+		rhs := cfloat.Dotc(aty, x)
+		d := lhs - rhs
+		return math.Hypot(float64(real(d)), float64(imag(d))) <
+			1e-2*(1+math.Hypot(float64(real(lhs)), float64(imag(lhs))))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressionRatioImprovesWithLooserTol(t *testing.T) {
+	// Fig. 12's brown curves: looser acc ⇒ more compression.
+	rng := rand.New(rand.NewSource(6))
+	a := decayMatrix(rng, 128, 128)
+	prevRatio := 0.0
+	for _, tol := range []float64{1e-5, 1e-3, 1e-1} {
+		tm := compressOrDie(t, a, Options{NB: 16, Tol: tol})
+		ratio := tm.CompressionRatio()
+		if ratio < prevRatio {
+			t.Errorf("tol=%g: ratio %g shrank from %g", tol, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+	tight := compressOrDie(t, a, Options{NB: 16, Tol: 1e-6})
+	loose := compressOrDie(t, a, Options{NB: 16, Tol: 1e-2})
+	if loose.CompressedBytes() > tight.CompressedBytes() {
+		t.Errorf("loose tol uses more memory (%d) than tight (%d)",
+			loose.CompressedBytes(), tight.CompressedBytes())
+	}
+}
+
+func TestEdgeTilesNonUniform(t *testing.T) {
+	// M, N not multiples of NB exercise ragged edge tiles.
+	rng := rand.New(rand.NewSource(7))
+	a := decayMatrix(rng, 53, 47)
+	tm := compressOrDie(t, a, Options{NB: 16, Tol: 1e-5})
+	if tm.MT != 4 || tm.NT != 3 {
+		t.Fatalf("tile grid %dx%d, want 4x3", tm.MT, tm.NT)
+	}
+	if err := dense.RelError(tm.Reconstruct(), a); err > 1e-3 {
+		t.Errorf("ragged reconstruction error %g", err)
+	}
+	x := dense.Random(rng, 47, 1).Data
+	yt := make([]complex64, 53)
+	tm.MulVec(x, yt)
+	yd := make([]complex64, 53)
+	a.MulVec(x, yd)
+	diff := make([]complex64, 53)
+	for i := range diff {
+		diff[i] = yt[i] - yd[i]
+	}
+	if rel := cfloat.Nrm2(diff) / cfloat.Nrm2(yd); rel > 1e-3 {
+		t.Errorf("ragged MVM error %g", rel)
+	}
+}
+
+func TestStackedSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := decayMatrix(rng, 64, 64)
+	tm := compressOrDie(t, a, Options{NB: 16, Tol: 1e-4})
+	colSizes := tm.ColumnStackedSizes()
+	rowSizes := tm.RowStackedSizes()
+	var colTotal, rowTotal int
+	for _, s := range colSizes {
+		colTotal += s
+	}
+	for _, s := range rowSizes {
+		rowTotal += s
+	}
+	if colTotal != tm.TotalRank() || rowTotal != tm.TotalRank() {
+		t.Errorf("stacked sizes inconsistent: col %d row %d total %d",
+			colTotal, rowTotal, tm.TotalRank())
+	}
+}
+
+func TestRanksMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := decayMatrix(rng, 48, 48)
+	tm := compressOrDie(t, a, Options{NB: 16, Tol: 1e-4})
+	ranks := tm.Ranks()
+	if len(ranks) != tm.MT*tm.NT {
+		t.Fatal("rank map size wrong")
+	}
+	maxR := 0
+	for _, r := range ranks {
+		if r < 1 {
+			t.Fatal("tile rank below 1")
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if maxR != tm.MaxRank() {
+		t.Errorf("MaxRank %d != map max %d", tm.MaxRank(), maxR)
+	}
+}
+
+func TestMaxRankCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := dense.Random(rng, 64, 64) // full-rank noise
+	tm := compressOrDie(t, a, Options{NB: 16, Tol: 1e-8, MaxRank: 5})
+	if tm.MaxRank() > 5 {
+		t.Errorf("MaxRank option violated: %d", tm.MaxRank())
+	}
+}
+
+func TestCompressValidation(t *testing.T) {
+	a := dense.New(8, 8)
+	if _, err := Compress(a, Options{NB: 0, Tol: 1e-4}); err == nil {
+		t.Error("NB=0 should error")
+	}
+	if _, err := Compress(a, Options{NB: 4, Tol: -1}); err == nil {
+		t.Error("negative tol should error")
+	}
+	if _, err := Compress(a, Options{NB: 4, Tol: 1e-4, Method: MethodRSVD}); err == nil {
+		t.Error("RSVD without rng should error")
+	}
+	if _, err := Compress(a, Options{NB: 4, Tol: 1e-4, Method: Method(42)}); err == nil {
+		t.Error("unknown method should error")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	for m, want := range map[Method]string{
+		MethodSVD: "svd", MethodRRQR: "rrqr", MethodRSVD: "rsvd",
+		MethodACA: "aca", Method(9): "unknown",
+	} {
+		if m.String() != want {
+			t.Errorf("Method(%d).String() = %q", m, m.String())
+		}
+	}
+}
+
+func TestZeroMatrixCompresses(t *testing.T) {
+	a := dense.New(32, 32)
+	tm, err := Compress(a, Options{NB: 16, Tol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Reconstruct().FrobNorm() > 1e-7 {
+		t.Error("zero matrix reconstruction nonzero")
+	}
+	x := make([]complex64, 32)
+	x[0] = 1
+	y := make([]complex64, 32)
+	tm.MulVec(x, y)
+	if cfloat.Nrm2(y) > 1e-7 {
+		t.Error("zero matrix MVM nonzero")
+	}
+}
+
+func TestSingleTileMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := decayMatrix(rng, 10, 10)
+	tm := compressOrDie(t, a, Options{NB: 16, Tol: 1e-6}) // NB > dims
+	if tm.MT != 1 || tm.NT != 1 {
+		t.Fatal("should be a single tile")
+	}
+	if err := dense.RelError(tm.Reconstruct(), a); err > 1e-3 {
+		t.Errorf("single-tile error %g", err)
+	}
+}
+
+func TestLowRankBeatsDenseFootprint(t *testing.T) {
+	// Smooth matrix tiles at loose tolerance must actually compress.
+	rng := rand.New(rand.NewSource(12))
+	a := decayMatrix(rng, 128, 128)
+	tm := compressOrDie(t, a, Options{NB: 32, Tol: 1e-3})
+	if tm.CompressionRatio() < 1.5 {
+		t.Errorf("compression ratio only %.2f on a smooth matrix", tm.CompressionRatio())
+	}
+}
+
+func TestStringer(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := decayMatrix(rng, 32, 32)
+	tm := compressOrDie(t, a, Options{NB: 16, Tol: 1e-3})
+	if tm.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func BenchmarkTLRMVMSeq256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := decayMatrix(rng, 256, 256)
+	tm, _ := Compress(a, Options{NB: 32, Tol: 1e-4})
+	x := dense.Random(rng, 256, 1).Data
+	y := make([]complex64, 256)
+	b.SetBytes(tm.CompressedBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.MulVec(x, y)
+	}
+}
+
+func BenchmarkTLRMVMParallel256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := decayMatrix(rng, 256, 256)
+	tm, _ := Compress(a, Options{NB: 32, Tol: 1e-4})
+	x := dense.Random(rng, 256, 1).Data
+	y := make([]complex64, 256)
+	b.SetBytes(tm.CompressedBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.MulVecParallel(x, y, 0)
+	}
+}
+
+func BenchmarkDenseMVM256(b *testing.B) {
+	// baseline the TLR-MVM is compared against (Fig. 2 vs Figs. 5-7)
+	rng := rand.New(rand.NewSource(1))
+	a := decayMatrix(rng, 256, 256)
+	x := dense.Random(rng, 256, 1).Data
+	y := make([]complex64, 256)
+	b.SetBytes(a.Bytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(x, y)
+	}
+}
+
+func BenchmarkCompressNB16(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := decayMatrix(rng, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Compress(a, Options{NB: 16, Tol: 1e-4})
+	}
+}
+
+func TestMulVecBatchedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, dims := range [][2]int{{64, 64}, {53, 47}, {100, 70}} {
+		a := decayMatrix(rng, dims[0], dims[1])
+		tm := compressOrDie(t, a, Options{NB: 16, Tol: 1e-4})
+		x := dense.Random(rng, dims[1], 1).Data
+		yRef := make([]complex64, dims[0])
+		tm.MulVec(x, yRef)
+		yBat := make([]complex64, dims[0])
+		if err := tm.MulVecBatched(x, yBat, 4); err != nil {
+			t.Fatal(err)
+		}
+		diff := make([]complex64, dims[0])
+		for i := range diff {
+			diff[i] = yBat[i] - yRef[i]
+		}
+		if rel := cfloat.Nrm2(diff) / (1 + cfloat.Nrm2(yRef)); rel > 1e-5 {
+			t.Errorf("%v: batched path error %g", dims, rel)
+		}
+	}
+}
+
+func BenchmarkTLRMVMBatched256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := decayMatrix(rng, 256, 256)
+	tm, _ := Compress(a, Options{NB: 32, Tol: 1e-4})
+	x := dense.Random(rng, 256, 1).Data
+	y := make([]complex64, 256)
+	b.SetBytes(tm.CompressedBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tm.MulVecBatched(x, y, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

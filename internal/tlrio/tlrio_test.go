@@ -1,0 +1,192 @@
+package tlrio
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/tlr"
+)
+
+func smoothMatrix(rng *rand.Rand, m, n int) *dense.Matrix {
+	a := dense.New(m, n)
+	for t := 0; t < 4; t++ {
+		fu := 0.5 + rng.Float64()*2
+		fv := 0.5 + rng.Float64()*2
+		amp := math.Pow(0.6, float64(t))
+		for j := 0; j < n; j++ {
+			vj := complex(amp*math.Cos(fv*float64(j)/float64(n)*math.Pi),
+				amp*math.Sin(fv*float64(j)/float64(n)*math.Pi))
+			for i := 0; i < m; i++ {
+				ui := complex(math.Cos(fu*float64(i)/float64(m)*math.Pi),
+					math.Sin(fu*float64(i)/float64(m)*math.Pi))
+				a.Set(i, j, a.At(i, j)+complex64(ui*vj))
+			}
+		}
+	}
+	return a
+}
+
+func testKernel(t *testing.T) *Kernel {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	k := &Kernel{}
+	for f := 0; f < 3; f++ {
+		a := smoothMatrix(rng, 53, 47) // ragged tiles
+		tm, err := tlr.Compress(a, tlr.Options{NB: 16, Tol: 1e-4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.Freqs = append(k.Freqs, 5.0+float64(f))
+		k.Mats = append(k.Mats, tm)
+	}
+	return k
+}
+
+func TestRoundTrip(t *testing.T) {
+	k := testKernel(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, k); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Mats) != len(k.Mats) {
+		t.Fatalf("got %d matrices", len(back.Mats))
+	}
+	for i := range k.Mats {
+		if back.Freqs[i] != k.Freqs[i] {
+			t.Errorf("freq %d: %g vs %g", i, back.Freqs[i], k.Freqs[i])
+		}
+		a := k.Mats[i].Reconstruct()
+		b := back.Mats[i].Reconstruct()
+		if e := dense.RelError(b, a); e != 0 {
+			t.Errorf("matrix %d: reconstruction changed by %g", i, e)
+		}
+		if back.Mats[i].MT != k.Mats[i].MT || back.Mats[i].NT != k.Mats[i].NT {
+			t.Errorf("matrix %d: tile grid changed", i)
+		}
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	k := testKernel(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, k); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// flip one payload byte in the middle
+	data[len(data)/2] ^= 0xFF
+	_, err := Read(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("corruption not detected")
+	}
+	// either an early structural error or the final checksum must fire
+	if !strings.Contains(err.Error(), "checksum") &&
+		!strings.Contains(err.Error(), "out of") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	k := testKernel(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, k); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Read(bytes.NewReader(data[:len(data)/3])); err == nil {
+		t.Fatal("truncation not detected")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	k := testKernel(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, k); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version little-endian low byte
+	if _, err := Read(bytes.NewReader(data)); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("version check failed: %v", err)
+	}
+}
+
+func TestMismatchedLengths(t *testing.T) {
+	k := testKernel(t)
+	k.Freqs = k.Freqs[:1]
+	var buf bytes.Buffer
+	if err := Write(&buf, k); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestEmptyKernel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Kernel{}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Mats) != 0 {
+		t.Fatal("empty kernel round trip failed")
+	}
+}
+
+func TestMVMIdenticalAfterRoundTrip(t *testing.T) {
+	// the deserialized operator must produce bit-identical MVM results
+	k := testKernel(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, k); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	x := dense.Random(rng, 47, 1).Data
+	y1 := make([]complex64, 53)
+	y2 := make([]complex64, 53)
+	k.Mats[0].MulVec(x, y1)
+	back.Mats[0].MulVec(x, y2)
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatalf("MVM differs at %d after round trip", i)
+		}
+	}
+}
+
+func BenchmarkWriteRead(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := smoothMatrix(rng, 128, 128)
+	tm, _ := tlr.Compress(a, tlr.Options{NB: 16, Tol: 1e-4})
+	k := &Kernel{Freqs: []float64{10}, Mats: []*tlr.Matrix{tm}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, k); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}

@@ -1,0 +1,301 @@
+package wse
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cs2"
+	"repro/internal/ranks"
+)
+
+var (
+	distMu    sync.Mutex
+	distCache = map[ranks.Config]*ranks.Distribution{}
+)
+
+func dist(t testing.TB, cfg ranks.Config) *ranks.Distribution {
+	t.Helper()
+	distMu.Lock()
+	defer distMu.Unlock()
+	if d, ok := distCache[cfg]; ok {
+		return d
+	}
+	d, err := ranks.New(cfg)
+	if err != nil {
+		t.Fatalf("%v: %v", cfg, err)
+	}
+	distCache[cfg] = d
+	return d
+}
+
+func evalOrDie(t testing.TB, p Plan) *Metrics {
+	t.Helper()
+	m, err := p.Evaluate()
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	return m
+}
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	rel := math.Abs(got-want) / math.Abs(want)
+	if rel > tol {
+		t.Errorf("%s: got %.4g, paper %.4g (%.1f%% off, tolerance %.0f%%)",
+			name, got, want, rel*100, tol*100)
+	}
+}
+
+// Table 2: worst cycle counts and memory accesses on six shards.
+func TestTable2CyclesAndAccesses(t *testing.T) {
+	cases := []struct {
+		cfg      ranks.Config
+		sw       int
+		cycles   int64
+		relBytes float64
+		absBytes float64
+	}{
+		{ranks.Config{NB: 25, Acc: 1e-4}, 64, 21350, 2.94e11, 6.85e11},
+		{ranks.Config{NB: 50, Acc: 1e-4}, 32, 19214, 2.60e11, 6.71e11},
+		{ranks.Config{NB: 70, Acc: 1e-4}, 23, 19131, 2.60e11, 6.89e11},
+		{ranks.Config{NB: 50, Acc: 3e-4}, 18, 12275, 1.64e11, 3.89e11},
+		{ranks.Config{NB: 70, Acc: 3e-4}, 14, 12999, 1.64e11, 4.06e11},
+	}
+	for _, c := range cases {
+		m := evalOrDie(t, Plan{
+			Dist: dist(t, c.cfg), Arch: cs2.DefaultArch(),
+			StackWidth: c.sw, Systems: 6, Strategy: Strategy1,
+		})
+		within(t, c.cfg.String()+" cycles", float64(m.WorstCycles), float64(c.cycles), 0.12)
+		within(t, c.cfg.String()+" relBytes", float64(m.RelativeBytes), c.relBytes, 0.12)
+		within(t, c.cfg.String()+" absBytes", float64(m.AbsoluteBytes), c.absBytes, 0.12)
+	}
+}
+
+// Table 3: aggregate bandwidths on six shards.
+func TestTable3SixShardBandwidth(t *testing.T) {
+	cases := []struct {
+		cfg           ranks.Config
+		sw            int
+		relPB, absPB  float64
+		pflops        float64
+		bwTol, flopsT float64
+	}{
+		{ranks.Config{NB: 25, Acc: 1e-4}, 64, 11.24, 26.19, 3.77, 0.15, 0.25},
+		{ranks.Config{NB: 50, Acc: 1e-4}, 32, 11.70, 30.15, 4.60, 0.15, 0.15},
+		{ranks.Config{NB: 70, Acc: 1e-4}, 23, 11.92, 31.62, 4.89, 0.15, 0.15},
+		{ranks.Config{NB: 50, Acc: 3e-4}, 18, 12.26, 29.05, 4.16, 0.15, 0.15},
+		{ranks.Config{NB: 70, Acc: 3e-4}, 14, 11.60, 28.79, 4.23, 0.15, 0.15},
+	}
+	for _, c := range cases {
+		m := evalOrDie(t, Plan{
+			Dist: dist(t, c.cfg), Arch: cs2.DefaultArch(),
+			StackWidth: c.sw, Systems: 6, Strategy: Strategy1,
+		})
+		within(t, c.cfg.String()+" rel BW", m.RelativeBW/1e15, c.relPB, c.bwTol)
+		within(t, c.cfg.String()+" abs BW", m.AbsoluteBW/1e15, c.absPB, c.bwTol)
+		within(t, c.cfg.String()+" PFlop/s", m.FlopRate/1e15, c.pflops, c.flopsT)
+	}
+}
+
+// Table 4/5 headline: 48-shard strategy-2 runs.
+func TestTable5FortyEightShards(t *testing.T) {
+	cases := []struct {
+		cfg          ranks.Config
+		sw, shards   int
+		relPB, absPB float64
+		pflops       float64
+		flopsTol     float64
+	}{
+		{ranks.Config{NB: 25, Acc: 1e-4}, 64, 48, 87.73, 204.51, 29.40, 0.25},
+		{ranks.Config{NB: 50, Acc: 1e-4}, 32, 47, 91.15, 235.04, 35.86, 0.15},
+		{ranks.Config{NB: 70, Acc: 1e-4}, 23, 48, 92.58, 245.59, 37.95, 0.15},
+	}
+	for _, c := range cases {
+		m := evalOrDie(t, Plan{
+			Dist: dist(t, c.cfg), Arch: cs2.DefaultArch(),
+			StackWidth: c.sw, Systems: c.shards, Strategy: Strategy2,
+		})
+		within(t, c.cfg.String()+" 48-shard rel BW", m.RelativeBW/1e15, c.relPB, 0.15)
+		within(t, c.cfg.String()+" 48-shard abs BW", m.AbsoluteBW/1e15, c.absPB, 0.15)
+		within(t, c.cfg.String()+" 48-shard PFlop/s", m.FlopRate/1e15, c.pflops, c.flopsTol)
+		if m.PEsUsed > int64(c.shards)*745500 {
+			t.Errorf("%v: PEs %d exceed budget", c.cfg, m.PEsUsed)
+		}
+	}
+}
+
+// Table 4: strong scaling of nb=25 acc=1e-4 under strategy 1.
+func TestTable4StrongScalingStrategy1(t *testing.T) {
+	cfg := ranks.Config{NB: 25, Acc: 1e-4}
+	d := dist(t, cfg)
+	arch := cs2.DefaultArch()
+	base := evalOrDie(t, Plan{Dist: d, Arch: arch, StackWidth: 64, Systems: 6, Strategy: Strategy1})
+	cases := []struct {
+		shards, sw int
+		relPB      float64
+	}{
+		{12, 32, 22.13},
+		{16, 24, 29.28},
+		{20, 19, 35.77},
+	}
+	prevBW := base.RelativeBW
+	for _, c := range cases {
+		m := evalOrDie(t, Plan{Dist: d, Arch: arch, StackWidth: c.sw, Systems: c.shards, Strategy: Strategy1})
+		within(t, "strong scaling rel BW", m.RelativeBW/1e15, c.relPB, 0.18)
+		if m.RelativeBW <= prevBW {
+			t.Errorf("bandwidth did not scale: %g → %g PB/s", prevBW/1e15, m.RelativeBW/1e15)
+		}
+		prevBW = m.RelativeBW
+		// ≥90% parallel efficiency (paper: 95% at 20 shards)
+		if eff := ParallelEfficiency(base, m); eff < 0.85 || eff > 1.15 {
+			t.Errorf("%d shards: parallel efficiency %.2f out of range", c.shards, eff)
+		}
+	}
+}
+
+// Table 1: occupancy of the five validated configurations.
+func TestTable1Occupancy(t *testing.T) {
+	cases := []struct {
+		cfg ranks.Config
+		sw  int
+		occ float64
+	}{
+		{ranks.Config{NB: 25, Acc: 1e-4}, 64, 0.99},
+		{ranks.Config{NB: 50, Acc: 1e-4}, 32, 0.97},
+		{ranks.Config{NB: 70, Acc: 1e-4}, 23, 0.98},
+		{ranks.Config{NB: 50, Acc: 3e-4}, 18, 0.99},
+		{ranks.Config{NB: 70, Acc: 3e-4}, 14, 0.95},
+	}
+	for _, c := range cases {
+		m := evalOrDie(t, Plan{
+			Dist: dist(t, c.cfg), Arch: cs2.DefaultArch(),
+			StackWidth: c.sw, Systems: 6, Strategy: Strategy1,
+		})
+		if math.Abs(m.Occupancy-c.occ) > 0.08 {
+			t.Errorf("%v: occupancy %.3f vs paper %.2f", c.cfg, m.Occupancy, c.occ)
+		}
+	}
+}
+
+func TestStrategy2UsesEightfoldPEs(t *testing.T) {
+	cfg := ranks.Config{NB: 70, Acc: 1e-4}
+	d := dist(t, cfg)
+	arch := cs2.DefaultArch()
+	m1 := evalOrDie(t, Plan{Dist: d, Arch: arch, StackWidth: 23, Systems: 6, Strategy: Strategy1})
+	m2 := evalOrDie(t, Plan{Dist: d, Arch: arch, StackWidth: 23, Systems: 48, Strategy: Strategy2})
+	if m2.PEsUsed != 8*m1.PEsUsed {
+		t.Errorf("strategy 2 PEs %d != 8×%d", m2.PEsUsed, m1.PEsUsed)
+	}
+	if m2.BaseReplication != 2 || m1.BaseReplication != 1 {
+		t.Error("base replication factors wrong")
+	}
+	// strategy 2 must be faster but same traffic
+	if m2.WorstCycles >= m1.WorstCycles {
+		t.Error("strategy 2 not faster")
+	}
+	if m2.RelativeBytes != m1.RelativeBytes {
+		t.Error("traffic should not depend on strategy")
+	}
+	// paper: 97% parallel efficiency for the 48-shard strategy-2 run
+	if eff := ParallelEfficiency(m1, m2); eff < 0.85 || eff > 1.1 {
+		t.Errorf("strategy-2 efficiency %.2f", eff)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	d := dist(t, ranks.Config{NB: 70, Acc: 1e-4})
+	arch := cs2.DefaultArch()
+	if _, err := (Plan{Dist: nil, Arch: arch, StackWidth: 23, Systems: 6, Strategy: Strategy1}).Evaluate(); err == nil {
+		t.Error("nil dist should fail")
+	}
+	if _, err := (Plan{Dist: d, Arch: arch, StackWidth: 0, Systems: 6, Strategy: Strategy1}).Evaluate(); err == nil {
+		t.Error("zero stack width should fail")
+	}
+	if _, err := (Plan{Dist: d, Arch: arch, StackWidth: 23, Systems: 0, Strategy: Strategy1}).Evaluate(); err == nil {
+		t.Error("zero systems should fail")
+	}
+	if _, err := (Plan{Dist: d, Arch: arch, StackWidth: 23, Systems: 6, Strategy: Strategy(0)}).Evaluate(); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+	// one system cannot hold a 6-system dataset
+	if _, err := (Plan{Dist: d, Arch: arch, StackWidth: 23, Systems: 1, Strategy: Strategy1}).Evaluate(); err == nil {
+		t.Error("over-budget plan should fail")
+	}
+}
+
+func TestSRAMFitsOnPE(t *testing.T) {
+	arch := cs2.DefaultArch()
+	for _, c := range []struct {
+		cfg ranks.Config
+		sw  int
+	}{
+		{ranks.Config{NB: 25, Acc: 1e-4}, 64},
+		{ranks.Config{NB: 50, Acc: 1e-4}, 32},
+		{ranks.Config{NB: 70, Acc: 1e-4}, 23},
+	} {
+		m := evalOrDie(t, Plan{Dist: dist(t, c.cfg), Arch: arch, StackWidth: c.sw, Systems: 6, Strategy: Strategy1})
+		if m.PerPEMatrixBytes > arch.SRAMBytes {
+			t.Errorf("%v: %d B of bases exceed 48 kB SRAM", c.cfg, m.PerPEMatrixBytes)
+		}
+		// "max out the SRAM": bases alone should use over a third
+		if m.PerPEMatrixBytes < arch.SRAMBytes/3 {
+			t.Errorf("%v: only %d B of SRAM used by bases", c.cfg, m.PerPEMatrixBytes)
+		}
+	}
+}
+
+func TestSyntheticTileSweepFig14(t *testing.T) {
+	arch := cs2.DefaultArch()
+	pts := SyntheticTileSweep(arch, []int{8, 16, 32, 64, 128})
+	// bandwidth rises with tile size and saturates
+	for i := 1; i < len(pts); i++ {
+		if pts[i].RelativeBW <= pts[i-1].RelativeBW {
+			t.Errorf("relative BW not rising at N=%d", pts[i].N)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.RelativeBW < 1.5e15 || last.RelativeBW > 2.5e15 {
+		t.Errorf("saturated relative BW %.2f PB/s, want ≈2", last.RelativeBW/1e15)
+	}
+	if r := last.AbsoluteBW / last.RelativeBW; r < 2.5 || r > 3.2 {
+		t.Errorf("absolute/relative ratio %.2f, want ≈3", r)
+	}
+}
+
+func TestPowerReportSection76(t *testing.T) {
+	// §7.6: ≈16 kW and ≈36.5 GFlop/s/W for nb=25, acc=1e-4, sw=64
+	cfg := ranks.Config{NB: 25, Acc: 1e-4}
+	p := Plan{Dist: dist(t, cfg), Arch: cs2.DefaultArch(), StackWidth: 64, Systems: 6, Strategy: Strategy1}
+	m := evalOrDie(t, p)
+	rep := p.Power(m)
+	if rep.Watts < 14000 || rep.Watts > 18000 {
+		t.Errorf("power %g W, paper ≈16 kW", rep.Watts)
+	}
+	// our nb=25 flop rate runs ~20% above the paper's (see EXPERIMENTS.md),
+	// which propagates into the efficiency figure
+	if rep.GFlopsPerWatt < 28 || rep.GFlopsPerWatt > 52 {
+		t.Errorf("efficiency %.1f GFlop/s/W, paper 36.5", rep.GFlopsPerWatt)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Strategy1.String() == "unknown" || Strategy2.String() == "unknown" {
+		t.Error("named strategies should print")
+	}
+	if Strategy(9).String() != "unknown" {
+		t.Error("unknown strategy should print unknown")
+	}
+}
+
+func BenchmarkEvaluateSixShards(b *testing.B) {
+	d := dist(b, ranks.Config{NB: 70, Acc: 1e-4})
+	p := Plan{Dist: d, Arch: cs2.DefaultArch(), StackWidth: 23, Systems: 6, Strategy: Strategy1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Evaluate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package wsesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cs2"
+	"repro/internal/dense"
+	"repro/internal/tlr"
+)
+
+func TestBankPlanConflictFree(t *testing.T) {
+	mach, _ := buildMachine(t, 96, 80, 16, 8, 1e-3)
+	arch := cs2.DefaultArch()
+	for i, pe := range mach.PEs {
+		plan, err := pe.PlanBanks(arch)
+		if err != nil {
+			t.Fatalf("PE %d: %v", i, err)
+		}
+		if err := plan.Verify(); err != nil {
+			t.Fatalf("PE %d: %v", i, err)
+		}
+	}
+}
+
+func TestBankPlanPaperScaleChunk(t *testing.T) {
+	// the paper's strategy-1 chunks nearly fill 48 kB (sw=64, nb=25 →
+	// 25.6 kB of bases plus vectors); the planner must still place them
+	// conflict-free. Build a full-rank tall matrix so chunks are dense.
+	rng := rand.New(rand.NewSource(31))
+	a := dense.Random(rng, 400, 25)
+	tm, err := tlr.Compress(a, tlr.Options{NB: 25, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := Build(tm, 64, cs2.DefaultArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := cs2.DefaultArch()
+	worst := mach.PEs[0]
+	for _, pe := range mach.PEs {
+		if pe.SRAMBytes() > worst.SRAMBytes() {
+			worst = pe
+		}
+	}
+	if worst.SRAMBytes() < 20*1024 {
+		t.Fatalf("test chunk only %d B — not the near-full case intended", worst.SRAMBytes())
+	}
+	plan, err := worst.PlanBanks(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// capacity bookkeeping: free never negative, total within 48 kB
+	var used int
+	for _, f := range plan.Free {
+		if f < 0 {
+			t.Fatal("negative free capacity")
+		}
+		used += arch.BankBytes - f
+	}
+	if used > arch.SRAMBytes {
+		t.Fatalf("placed %d B into 48 kB", used)
+	}
+}
+
+func TestBankPlanFailsWhenOverfull(t *testing.T) {
+	mach, _ := buildMachine(t, 64, 64, 16, 8, 1e-3)
+	small := cs2.Arch{
+		GridX: 10, GridY: 10, UsableX: 8, UsableY: 8,
+		ClockHz: 1e6, SRAMBytes: 256, NumBanks: 8, BankBytes: 32,
+	}
+	if _, err := mach.PEs[0].PlanBanks(small); err == nil {
+		t.Error("overfull placement should fail")
+	}
+}
+
+func TestVerifyDetectsViolation(t *testing.T) {
+	p := &BankPlan{Arrays: []Array{
+		{Name: "y0", Kind: KindAccum, Banks: []int{1}},
+		{Name: "ur0", Kind: KindMatrix, Banks: []int{1, 2}, ConflictsWith: "y0"},
+	}}
+	if p.Verify() == nil {
+		t.Error("shared bank not detected")
+	}
+}
