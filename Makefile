@@ -1,0 +1,43 @@
+# Development entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+GO ?= go
+
+# every Fuzz* target in the tree, as "package target" pairs
+FUZZ_TARGETS = \
+	internal/sfc:FuzzHilbertRoundTrip \
+	internal/sfc:FuzzPermutationBijection \
+	internal/sfc:FuzzVectorPermutationRoundTrip \
+	internal/cfloat:FuzzSplitMergeRoundTrip \
+	internal/cfloat:FuzzComplexMVMViaFourReal \
+	internal/precision:FuzzF16RoundTrip \
+	internal/precision:FuzzBF16RoundTrip \
+	internal/tlrio:FuzzRead
+
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race fuzz bench
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -shuffle=on ./...
+
+fuzz:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; target=$${t##*:}; \
+		echo "== $$pkg $$target"; \
+		$(GO) test -run='^$$' -fuzz="^$$target$$" -fuzztime=$(FUZZTIME) ./$$pkg/; \
+	done
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

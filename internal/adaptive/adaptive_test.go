@@ -2,8 +2,9 @@ package adaptive
 
 import (
 	"math"
-	"math/rand"
 	"testing"
+
+	"repro/internal/testkit"
 )
 
 // denseToeplitzSolve solves T(r)·f = g by Gaussian elimination, as an
@@ -50,7 +51,7 @@ func denseToeplitzSolve(r, g []float64) []float64 {
 }
 
 func TestLevinsonMatchesDenseSolve(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := testkit.NewRNG(1)
 	for trial := 0; trial < 20; trial++ {
 		n := 2 + rng.Intn(12)
 		// a valid autocorrelation: r = correlation of a random sequence
@@ -83,7 +84,7 @@ func TestLevinsonMatchesDenseSolve(t *testing.T) {
 
 func TestMatchFilterRecoversKnownFilter(t *testing.T) {
 	// d = f_true ∗ m exactly ⇒ MatchFilter must recover f_true
-	rng := rand.New(rand.NewSource(2))
+	rng := testkit.NewRNG(2)
 	m := make([]float64, 300)
 	for i := range m {
 		m[i] = rng.NormFloat64()
@@ -103,7 +104,7 @@ func TestMatchFilterRecoversKnownFilter(t *testing.T) {
 
 func TestSubtractRemovesScaledPrediction(t *testing.T) {
 	// d = primary + 0.7·m: subtraction must leave ≈primary
-	rng := rand.New(rand.NewSource(3))
+	rng := testkit.NewRNG(3)
 	n := 400
 	m := make([]float64, n)
 	primary := make([]float64, n)
@@ -225,7 +226,7 @@ func TestEnergyRatio(t *testing.T) {
 }
 
 func BenchmarkMatchFilter32(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
+	rng := testkit.NewRNG(1)
 	m := make([]float64, 1024)
 	for i := range m {
 		m[i] = rng.NormFloat64()

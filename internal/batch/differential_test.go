@@ -1,0 +1,124 @@
+// Differential tests for the batched-MVM engine: every scheduling and
+// execution mode (serial, parallel LPT, four-real decomposition) must
+// produce the same numbers as direct per-member Gemv calls.
+// External test package: testkit depends on batch transitively via tlr.
+package batch_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/cfloat"
+	"repro/internal/testkit"
+)
+
+// heterogeneousBatch builds nTasks MVMs with variable shapes — the
+// variable-rank irregularity (§4) the engine exists for — half forward,
+// half adjoint, writing to disjoint outputs.
+func heterogeneousBatch(rng *rand.Rand, nTasks int) ([]batch.MVM, [][]complex64) {
+	tasks := make([]batch.MVM, 0, nTasks)
+	outs := make([][]complex64, 0, nTasks)
+	for i := 0; i < nTasks; i++ {
+		m := 1 + rng.Intn(24)
+		n := 1 + rng.Intn(24)
+		op := batch.OpN
+		if i%2 == 1 {
+			op = batch.OpC
+		}
+		a := testkit.Vec(rng, m*n)
+		xin := n
+		yout := m
+		if op == batch.OpC {
+			xin, yout = m, n
+		}
+		x := testkit.Vec(rng, xin)
+		y := make([]complex64, yout)
+		outs = append(outs, y)
+		tasks = append(tasks, batch.MVM{
+			Oper: op, M: m, N: n, Alpha: 1, A: a, LDA: m, X: x, Y: y,
+		})
+	}
+	return tasks, outs
+}
+
+// reference computes each member directly with cfloat.Gemv.
+func reference(tasks []batch.MVM) [][]complex64 {
+	outs := make([][]complex64, len(tasks))
+	for i, tk := range tasks {
+		tr := cfloat.NoTrans
+		yout := tk.M
+		if tk.Oper == batch.OpC {
+			tr = cfloat.ConjTrans
+			yout = tk.N
+		}
+		y := make([]complex64, yout)
+		cfloat.Gemv(tr, tk.M, tk.N, tk.Alpha, tk.A, tk.LDA, tk.X, 0, y)
+		outs[i] = y
+	}
+	return outs
+}
+
+func TestDifferentialSchedulingModes(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		tasks, outs := heterogeneousBatch(testkit.NewRNG(31), 40)
+		want := reference(tasks)
+		if err := batch.Run(tasks, batch.Options{Workers: workers, MinParallelWork: 1}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range outs {
+			// identical arithmetic, only the schedule differs: bitwise equal
+			if d := testkit.MaxULPDist(outs[i], want[i]); d != 0 {
+				t.Fatalf("workers=%d member %d: %d ULPs from direct Gemv", workers, i, d)
+			}
+		}
+	}
+}
+
+func TestDifferentialFourRealDecomposition(t *testing.T) {
+	// FourReal reorders the complex arithmetic into four real sweeps
+	// (§6.6): equal up to float32 rounding, not bitwise.
+	rng := testkit.NewRNG(32)
+	tasks := make([]batch.MVM, 0, 20)
+	outs := make([][]complex64, 0, 20)
+	for i := 0; i < 20; i++ {
+		m := 1 + rng.Intn(30)
+		n := 1 + rng.Intn(30)
+		y := make([]complex64, m)
+		outs = append(outs, y)
+		tasks = append(tasks, batch.MVM{
+			Oper: batch.OpN, M: m, N: n, Alpha: 1,
+			A: testkit.Vec(rng, m*n), LDA: m, X: testkit.Vec(rng, n), Y: y,
+		})
+	}
+	want := reference(tasks)
+	if err := batch.Run(tasks, batch.Options{Workers: 4, FourReal: true, MinParallelWork: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		if e := testkit.RelErr(outs[i], want[i]); e > testkit.ExecTolerance(tasks[i].N) {
+			t.Fatalf("member %d (%dx%d): four-real relErr %g", i, tasks[i].M, tasks[i].N, e)
+		}
+	}
+}
+
+func TestDifferentialAlphaBetaAccumulation(t *testing.T) {
+	rng := testkit.NewRNG(33)
+	m, n := 17, 11
+	a := testkit.Vec(rng, m*n)
+	x := testkit.Vec(rng, n)
+	y0 := testkit.Vec(rng, m)
+	alpha, beta := complex64(2-1i), complex64(0.25i)
+	got := append([]complex64(nil), y0...)
+	err := batch.Run([]batch.MVM{{
+		Oper: batch.OpN, M: m, N: n, Alpha: alpha, A: a, LDA: m, X: x, Beta: beta, Y: got,
+	}}, batch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]complex64(nil), y0...)
+	cfloat.Gemv(cfloat.NoTrans, m, n, alpha, a, m, x, beta, want)
+	if d := testkit.MaxULPDist(got, want); d != 0 {
+		t.Fatalf("alpha/beta path %d ULPs from Gemv", d)
+	}
+}

@@ -1,23 +1,13 @@
-package cfloat
+package cfloat_test
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/cfloat"
+	"repro/internal/testkit"
 )
-
-func randVec(rng *rand.Rand, n int) []complex64 {
-	v := make([]complex64, n)
-	for i := range v {
-		v[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
-	}
-	return v
-}
-
-func randMat(rng *rand.Rand, m, n int) []complex64 {
-	return randVec(rng, m*n)
-}
 
 func cAbs(v complex64) float64 {
 	return math.Hypot(float64(real(v)), float64(imag(v)))
@@ -26,7 +16,7 @@ func cAbs(v complex64) float64 {
 func TestAxpy(t *testing.T) {
 	x := []complex64{1, 2i, 3 + 4i}
 	y := []complex64{1, 1, 1}
-	Axpy(2, x, y)
+	cfloat.Axpy(2, x, y)
 	want := []complex64{3, 1 + 4i, 7 + 8i}
 	for i := range y {
 		if y[i] != want[i] {
@@ -38,9 +28,9 @@ func TestAxpy(t *testing.T) {
 func TestAxpyZeroAlphaNoop(t *testing.T) {
 	x := []complex64{5, 6}
 	y := []complex64{1, 2}
-	Axpy(0, x, y)
+	cfloat.Axpy(0, x, y)
 	if y[0] != 1 || y[1] != 2 {
-		t.Errorf("Axpy(0,..) changed y: %v", y)
+		t.Errorf("cfloat.Axpy(0,..) changed y: %v", y)
 	}
 }
 
@@ -50,14 +40,14 @@ func TestAxpyLengthMismatchPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	Axpy(1, make([]complex64, 2), make([]complex64, 3))
+	cfloat.Axpy(1, make([]complex64, 2), make([]complex64, 3))
 }
 
 func TestScal(t *testing.T) {
 	x := []complex64{1 + 1i, 2}
-	Scal(2i, x)
+	cfloat.Scal(2i, x)
 	if x[0] != complex64(-2+2i) || x[1] != complex64(4i) {
-		t.Errorf("Scal result %v", x)
+		t.Errorf("cfloat.Scal result %v", x)
 	}
 }
 
@@ -65,73 +55,73 @@ func TestDotcConjugatesFirstArgument(t *testing.T) {
 	x := []complex64{1i}
 	y := []complex64{1i}
 	// conj(i)*i = -i*i = 1
-	if got := Dotc(x, y); got != 1 {
-		t.Errorf("Dotc = %v, want 1", got)
+	if got := cfloat.Dotc(x, y); got != 1 {
+		t.Errorf("cfloat.Dotc = %v, want 1", got)
 	}
-	if got := Dotu(x, y); got != -1 {
-		t.Errorf("Dotu = %v, want -1", got)
+	if got := cfloat.Dotu(x, y); got != -1 {
+		t.Errorf("cfloat.Dotu = %v, want -1", got)
 	}
 }
 
 func TestDotcHermitianSymmetry(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	x := randVec(rng, 57)
-	y := randVec(rng, 57)
-	a := Dotc(x, y)
-	b := Dotc(y, x)
-	// Dotc(x,y) == conj(Dotc(y,x))
+	rng := testkit.NewRNG(1)
+	x := testkit.Vec(rng, 57)
+	y := testkit.Vec(rng, 57)
+	a := cfloat.Dotc(x, y)
+	b := cfloat.Dotc(y, x)
+	// cfloat.Dotc(x,y) == conj(cfloat.Dotc(y,x))
 	if cAbs(a-complex(real(b), -imag(b))) > 1e-4*cAbs(a) {
 		t.Errorf("Hermitian symmetry violated: %v vs %v", a, b)
 	}
 }
 
 func TestNrm2MatchesDotc(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
-	x := randVec(rng, 101)
-	n := Nrm2(x)
-	d := Dotc(x, x)
+	rng := testkit.NewRNG(2)
+	x := testkit.Vec(rng, 101)
+	n := cfloat.Nrm2(x)
+	d := cfloat.Dotc(x, x)
 	if math.Abs(n*n-float64(real(d))) > 1e-3*n*n {
-		t.Errorf("Nrm2²=%v vs Dotc=%v", n*n, real(d))
+		t.Errorf("Nrm2²=%v vs cfloat.Dotc=%v", n*n, real(d))
 	}
 	if math.Abs(float64(imag(d))) > 1e-3*n*n {
-		t.Errorf("Dotc(x,x) has imaginary part %v", imag(d))
+		t.Errorf("cfloat.Dotc(x,x) has imaginary part %v", imag(d))
 	}
 }
 
 func TestNrm2Empty(t *testing.T) {
-	if Nrm2(nil) != 0 {
-		t.Error("Nrm2(nil) != 0")
+	if cfloat.Nrm2(nil) != 0 {
+		t.Error("cfloat.Nrm2(nil) != 0")
 	}
 }
 
 func TestIAmax(t *testing.T) {
-	if IAmax(nil) != -1 {
-		t.Error("IAmax(nil) != -1")
+	if cfloat.IAmax(nil) != -1 {
+		t.Error("cfloat.IAmax(nil) != -1")
 	}
 	x := []complex64{1, 3 + 4i, 2}
-	if got := IAmax(x); got != 1 {
-		t.Errorf("IAmax = %d, want 1", got)
+	if got := cfloat.IAmax(x); got != 1 {
+		t.Errorf("cfloat.IAmax = %d, want 1", got)
 	}
 }
 
 func TestConjInvolution(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
-	x := randVec(rng, 33)
+	rng := testkit.NewRNG(3)
+	x := testkit.Vec(rng, 33)
 	orig := append([]complex64(nil), x...)
-	Conj(x)
-	Conj(x)
+	cfloat.Conj(x)
+	cfloat.Conj(x)
 	for i := range x {
 		if x[i] != orig[i] {
-			t.Fatalf("Conj∘Conj not identity at %d", i)
+			t.Fatalf("cfloat.Conj∘cfloat.Conj not identity at %d", i)
 		}
 	}
 }
 
 // reference dense gemv in complex128 for comparison
-func refGemv(t Trans, m, n int, a []complex64, lda int, x []complex64) []complex64 {
+func refGemv(t cfloat.Trans, m, n int, a []complex64, lda int, x []complex64) []complex64 {
 	var rows, cols int
 	switch t {
-	case NoTrans:
+	case cfloat.NoTrans:
 		rows, cols = m, n
 	default:
 		rows, cols = n, m
@@ -142,11 +132,11 @@ func refGemv(t Trans, m, n int, a []complex64, lda int, x []complex64) []complex
 		for j := 0; j < cols; j++ {
 			var aij complex64
 			switch t {
-			case NoTrans:
+			case cfloat.NoTrans:
 				aij = a[j*lda+i]
-			case Transpose:
+			case cfloat.Transpose:
 				aij = a[i*lda+j]
-			case ConjTrans:
+			case cfloat.ConjTrans:
 				v := a[i*lda+j]
 				aij = complex(real(v), -imag(v))
 			}
@@ -158,22 +148,22 @@ func refGemv(t Trans, m, n int, a []complex64, lda int, x []complex64) []complex
 }
 
 func TestGemvAgainstReference(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
-	for _, tr := range []Trans{NoTrans, Transpose, ConjTrans} {
+	rng := testkit.NewRNG(4)
+	for _, tr := range []cfloat.Trans{cfloat.NoTrans, cfloat.Transpose, cfloat.ConjTrans} {
 		for _, dims := range [][2]int{{1, 1}, {3, 7}, {16, 16}, {70, 25}, {25, 70}} {
 			m, n := dims[0], dims[1]
-			a := randMat(rng, m, n)
+			a := testkit.Vec(rng, m*n)
 			xin := n
-			if tr != NoTrans {
+			if tr != cfloat.NoTrans {
 				xin = m
 			}
-			x := randVec(rng, xin)
+			x := testkit.Vec(rng, xin)
 			yout := m
-			if tr != NoTrans {
+			if tr != cfloat.NoTrans {
 				yout = n
 			}
 			y := make([]complex64, yout)
-			Gemv(tr, m, n, 1, a, m, x, 0, y)
+			cfloat.Gemv(tr, m, n, 1, a, m, x, 0, y)
 			want := refGemv(tr, m, n, a, m, x)
 			for i := range y {
 				if cAbs(y[i]-want[i]) > 1e-3*(1+cAbs(want[i])) {
@@ -185,15 +175,15 @@ func TestGemvAgainstReference(t *testing.T) {
 }
 
 func TestGemvAlphaBeta(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := testkit.NewRNG(5)
 	m, n := 9, 5
-	a := randMat(rng, m, n)
-	x := randVec(rng, n)
-	y0 := randVec(rng, m)
+	a := testkit.Vec(rng, m*n)
+	x := testkit.Vec(rng, n)
+	y0 := testkit.Vec(rng, m)
 	y := append([]complex64(nil), y0...)
 	alpha, beta := complex64(2-1i), complex64(0.5i)
-	Gemv(NoTrans, m, n, alpha, a, m, x, beta, y)
-	ref := refGemv(NoTrans, m, n, a, m, x)
+	cfloat.Gemv(cfloat.NoTrans, m, n, alpha, a, m, x, beta, y)
+	ref := refGemv(cfloat.NoTrans, m, n, a, m, x)
 	for i := range y {
 		want := alpha*ref[i] + beta*y0[i]
 		if cAbs(y[i]-want) > 1e-3*(1+cAbs(want)) {
@@ -203,12 +193,12 @@ func TestGemvAlphaBeta(t *testing.T) {
 }
 
 func TestGemvLeadingDimension(t *testing.T) {
-	rng := rand.New(rand.NewSource(6))
+	rng := testkit.NewRNG(6)
 	m, n, lda := 4, 3, 7
-	a := randMat(rng, lda, n)
-	x := randVec(rng, n)
+	a := testkit.Vec(rng, lda*n)
+	x := testkit.Vec(rng, n)
 	y := make([]complex64, m)
-	Gemv(NoTrans, m, n, 1, a, lda, x, 0, y)
+	cfloat.Gemv(cfloat.NoTrans, m, n, 1, a, lda, x, 0, y)
 	for i := 0; i < m; i++ {
 		var acc complex128
 		for j := 0; j < n; j++ {
@@ -221,19 +211,19 @@ func TestGemvLeadingDimension(t *testing.T) {
 }
 
 func TestGemmAgainstGemv(t *testing.T) {
-	// C = A*B column by column must equal Gemv of each column of B.
-	rng := rand.New(rand.NewSource(7))
+	// C = A*B column by column must equal cfloat.Gemv of each column of B.
+	rng := testkit.NewRNG(7)
 	m, k, n := 8, 6, 4
-	a := randMat(rng, m, k)
-	b := randMat(rng, k, n)
+	a := testkit.Vec(rng, m*k)
+	b := testkit.Vec(rng, k*n)
 	c := make([]complex64, m*n)
-	Gemm(NoTrans, NoTrans, m, n, k, 1, a, m, b, k, 0, c, m)
+	cfloat.Gemm(cfloat.NoTrans, cfloat.NoTrans, m, n, k, 1, a, m, b, k, 0, c, m)
 	for j := 0; j < n; j++ {
 		y := make([]complex64, m)
-		Gemv(NoTrans, m, k, 1, a, m, b[j*k:(j+1)*k], 0, y)
+		cfloat.Gemv(cfloat.NoTrans, m, k, 1, a, m, b[j*k:(j+1)*k], 0, y)
 		for i := 0; i < m; i++ {
 			if cAbs(c[j*m+i]-y[i]) > 1e-3*(1+cAbs(y[i])) {
-				t.Fatalf("Gemm vs Gemv at (%d,%d)", i, j)
+				t.Fatalf("cfloat.Gemm vs cfloat.Gemv at (%d,%d)", i, j)
 			}
 		}
 	}
@@ -241,11 +231,11 @@ func TestGemmAgainstGemv(t *testing.T) {
 
 func TestGemmConjTransIsHermitianAdjoint(t *testing.T) {
 	// (Aᴴ A) must be Hermitian with nonnegative real diagonal.
-	rng := rand.New(rand.NewSource(8))
+	rng := testkit.NewRNG(8)
 	m, n := 12, 5
-	a := randMat(rng, m, n)
+	a := testkit.Vec(rng, m*n)
 	c := make([]complex64, n*n)
-	Gemm(ConjTrans, NoTrans, n, n, m, 1, a, m, a, m, 0, c, n)
+	cfloat.Gemm(cfloat.ConjTrans, cfloat.NoTrans, n, n, m, 1, a, m, a, m, 0, c, n)
 	for i := 0; i < n; i++ {
 		if real(c[i*n+i]) < 0 || math.Abs(float64(imag(c[i*n+i]))) > 1e-3 {
 			t.Errorf("diagonal %d = %v not real nonneg", i, c[i*n+i])
@@ -262,14 +252,14 @@ func TestGemmConjTransIsHermitianAdjoint(t *testing.T) {
 
 func TestGemmTransposeComposition(t *testing.T) {
 	// (A B)ᵀ = Bᵀ Aᵀ
-	rng := rand.New(rand.NewSource(9))
+	rng := testkit.NewRNG(9)
 	m, k, n := 5, 7, 6
-	a := randMat(rng, m, k)
-	b := randMat(rng, k, n)
+	a := testkit.Vec(rng, m*k)
+	b := testkit.Vec(rng, k*n)
 	ab := make([]complex64, m*n)
-	Gemm(NoTrans, NoTrans, m, n, k, 1, a, m, b, k, 0, ab, m)
+	cfloat.Gemm(cfloat.NoTrans, cfloat.NoTrans, m, n, k, 1, a, m, b, k, 0, ab, m)
 	btat := make([]complex64, n*m)
-	Gemm(Transpose, Transpose, n, m, k, 1, b, k, a, m, 0, btat, n)
+	cfloat.Gemm(cfloat.Transpose, cfloat.Transpose, n, m, k, 1, b, k, a, m, 0, btat, n)
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
 			if cAbs(ab[j*m+i]-btat[i*n+j]) > 1e-3*(1+cAbs(ab[j*m+i])) {
@@ -280,13 +270,13 @@ func TestGemmTransposeComposition(t *testing.T) {
 }
 
 func TestSplitMergeRoundTrip(t *testing.T) {
-	rng := rand.New(rand.NewSource(10))
-	x := randVec(rng, 41)
+	rng := testkit.NewRNG(10)
+	x := testkit.Vec(rng, 41)
 	re := make([]float32, len(x))
 	im := make([]float32, len(x))
-	SplitReIm(x, re, im)
+	cfloat.SplitReIm(x, re, im)
 	back := make([]complex64, len(x))
-	MergeReIm(re, im, back)
+	cfloat.MergeReIm(re, im, back)
 	for i := range x {
 		if back[i] != x[i] {
 			t.Fatalf("round trip failed at %d", i)
@@ -295,18 +285,18 @@ func TestSplitMergeRoundTrip(t *testing.T) {
 }
 
 func TestComplexMVMViaFourRealMatchesGemv(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	rng := testkit.NewRNG(11)
 	for _, dims := range [][2]int{{1, 1}, {7, 3}, {70, 25}, {32, 64}} {
 		m, n := dims[0], dims[1]
-		a := randMat(rng, m, n)
+		a := testkit.Vec(rng, m*n)
 		ar := make([]float32, m*n)
 		ai := make([]float32, m*n)
-		SplitReIm(a, ar, ai)
-		x := randVec(rng, n)
+		cfloat.SplitReIm(a, ar, ai)
+		x := testkit.Vec(rng, n)
 		y1 := make([]complex64, m)
-		Gemv(NoTrans, m, n, 1, a, m, x, 0, y1)
+		cfloat.Gemv(cfloat.NoTrans, m, n, 1, a, m, x, 0, y1)
 		y2 := make([]complex64, m)
-		ComplexMVMViaFourReal(m, n, ar, ai, m, x, y2)
+		cfloat.ComplexMVMViaFourReal(m, n, ar, ai, m, x, y2)
 		for i := range y1 {
 			if cAbs(y1[i]-y2[i]) > 1e-3*(1+cAbs(y1[i])) {
 				t.Fatalf("%dx%d four-real mismatch at %d: %v vs %v", m, n, i, y1[i], y2[i])
@@ -316,23 +306,23 @@ func TestComplexMVMViaFourRealMatchesGemv(t *testing.T) {
 }
 
 func TestTransString(t *testing.T) {
-	if NoTrans.String() != "N" || Transpose.String() != "T" || ConjTrans.String() != "C" {
-		t.Error("Trans.String broken")
+	if cfloat.NoTrans.String() != "N" || cfloat.Transpose.String() != "T" || cfloat.ConjTrans.String() != "C" {
+		t.Error("cfloat.Trans.String broken")
 	}
-	if Trans(99).String() != "?" {
-		t.Error("unknown Trans should print ?")
+	if cfloat.Trans(99).String() != "?" {
+		t.Error("unknown cfloat.Trans should print ?")
 	}
 }
 
-// Property: Gemv is linear in x.
+// Property: cfloat.Gemv is linear in x.
 func TestGemvLinearityProperty(t *testing.T) {
-	rng := rand.New(rand.NewSource(12))
+	rng := testkit.NewRNG(12)
 	m, n := 10, 8
-	a := randMat(rng, m, n)
+	a := testkit.Vec(rng, m*n)
 	f := func(seed int64) bool {
-		r := rand.New(rand.NewSource(seed))
-		x1 := randVec(r, n)
-		x2 := randVec(r, n)
+		r := testkit.NewRNG(seed)
+		x1 := testkit.Vec(r, n)
+		x2 := testkit.Vec(r, n)
 		sum := make([]complex64, n)
 		for i := range sum {
 			sum[i] = x1[i] + x2[i]
@@ -340,9 +330,9 @@ func TestGemvLinearityProperty(t *testing.T) {
 		y1 := make([]complex64, m)
 		y2 := make([]complex64, m)
 		ys := make([]complex64, m)
-		Gemv(NoTrans, m, n, 1, a, m, x1, 0, y1)
-		Gemv(NoTrans, m, n, 1, a, m, x2, 0, y2)
-		Gemv(NoTrans, m, n, 1, a, m, sum, 0, ys)
+		cfloat.Gemv(cfloat.NoTrans, m, n, 1, a, m, x1, 0, y1)
+		cfloat.Gemv(cfloat.NoTrans, m, n, 1, a, m, x2, 0, y2)
+		cfloat.Gemv(cfloat.NoTrans, m, n, 1, a, m, sum, 0, ys)
 		for i := 0; i < m; i++ {
 			if cAbs(ys[i]-(y1[i]+y2[i])) > 1e-2*(1+cAbs(ys[i])) {
 				return false
@@ -359,18 +349,18 @@ func TestGemvLinearityProperty(t *testing.T) {
 // and the MDC operator rely on.
 func TestGemvAdjointProperty(t *testing.T) {
 	f := func(seed int64) bool {
-		r := rand.New(rand.NewSource(seed))
+		r := testkit.NewRNG(seed)
 		m := 3 + r.Intn(20)
 		n := 3 + r.Intn(20)
-		a := randMat(r, m, n)
-		x := randVec(r, n)
-		y := randVec(r, m)
+		a := testkit.Vec(r, m*n)
+		x := testkit.Vec(r, n)
+		y := testkit.Vec(r, m)
 		ax := make([]complex64, m)
-		Gemv(NoTrans, m, n, 1, a, m, x, 0, ax)
+		cfloat.Gemv(cfloat.NoTrans, m, n, 1, a, m, x, 0, ax)
 		aty := make([]complex64, n)
-		Gemv(ConjTrans, m, n, 1, a, m, y, 0, aty)
-		lhs := Dotc(y, ax)  // ⟨y, Ax⟩
-		rhs := Dotc(aty, x) // ⟨Aᴴy, x⟩
+		cfloat.Gemv(cfloat.ConjTrans, m, n, 1, a, m, y, 0, aty)
+		lhs := cfloat.Dotc(y, ax)  // ⟨y, Ax⟩
+		rhs := cfloat.Dotc(aty, x) // ⟨Aᴴy, x⟩
 		return cAbs(lhs-rhs) < 1e-2*(1+cAbs(lhs))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
@@ -379,42 +369,42 @@ func TestGemvAdjointProperty(t *testing.T) {
 }
 
 func BenchmarkGemvNoTrans256(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
+	rng := testkit.NewRNG(1)
 	m, n := 256, 256
-	a := randMat(rng, m, n)
-	x := randVec(rng, n)
+	a := testkit.Vec(rng, m*n)
+	x := testkit.Vec(rng, n)
 	y := make([]complex64, m)
 	b.SetBytes(int64(8 * m * n))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Gemv(NoTrans, m, n, 1, a, m, x, 0, y)
+		cfloat.Gemv(cfloat.NoTrans, m, n, 1, a, m, x, 0, y)
 	}
 }
 
 func BenchmarkComplexMVMViaFourReal256(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
+	rng := testkit.NewRNG(1)
 	m, n := 256, 256
-	a := randMat(rng, m, n)
+	a := testkit.Vec(rng, m*n)
 	ar := make([]float32, m*n)
 	ai := make([]float32, m*n)
-	SplitReIm(a, ar, ai)
-	x := randVec(rng, n)
+	cfloat.SplitReIm(a, ar, ai)
+	x := testkit.Vec(rng, n)
 	y := make([]complex64, m)
 	b.SetBytes(int64(8 * m * n))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ComplexMVMViaFourReal(m, n, ar, ai, m, x, y)
+		cfloat.ComplexMVMViaFourReal(m, n, ar, ai, m, x, y)
 	}
 }
 
 func TestGemmGenericFallbackPaths(t *testing.T) {
-	// Transpose operands exercise the closure-based generic path
-	rng := rand.New(rand.NewSource(13))
+	// cfloat.Transpose operands exercise the closure-based generic path
+	rng := testkit.NewRNG(13)
 	m, k, n := 5, 6, 4
-	a := randMat(rng, k, m) // used as Aᵀ (m×k)
-	b := randMat(rng, n, k) // used as Bᵀ (k×n)
+	a := testkit.Vec(rng, k*m) // used as Aᵀ (m×k)
+	b := testkit.Vec(rng, n*k) // used as Bᵀ (k×n)
 	c := make([]complex64, m*n)
-	Gemm(Transpose, Transpose, m, n, k, 1, a, k, b, n, 0, c, m)
+	cfloat.Gemm(cfloat.Transpose, cfloat.Transpose, m, n, k, 1, a, k, b, n, 0, c, m)
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
 			var want complex128
@@ -426,10 +416,10 @@ func TestGemmGenericFallbackPaths(t *testing.T) {
 			}
 		}
 	}
-	// ConjTrans on B exercises the getter with conjugation
+	// cfloat.ConjTrans on B exercises the getter with conjugation
 	c2 := make([]complex64, m*n)
-	bh := randMat(rng, n, k) // used as Bᴴ (k×n)
-	Gemm(Transpose, ConjTrans, m, n, k, 1, a, k, bh, n, 0, c2, m)
+	bh := testkit.Vec(rng, n*k) // used as Bᴴ (k×n)
+	cfloat.Gemm(cfloat.Transpose, cfloat.ConjTrans, m, n, k, 1, a, k, bh, n, 0, c2, m)
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
 			var want complex128
@@ -445,16 +435,16 @@ func TestGemmGenericFallbackPaths(t *testing.T) {
 }
 
 func TestGemmBetaPaths(t *testing.T) {
-	rng := rand.New(rand.NewSource(14))
+	rng := testkit.NewRNG(14)
 	m, k, n := 4, 3, 4
-	a := randMat(rng, m, k)
-	b := randMat(rng, k, n)
-	c0 := randMat(rng, m, n)
+	a := testkit.Vec(rng, m*k)
+	b := testkit.Vec(rng, k*n)
+	c0 := testkit.Vec(rng, m*n)
 	// beta = 1 accumulates
 	c := append([]complex64(nil), c0...)
-	Gemm(NoTrans, NoTrans, m, n, k, 1, a, m, b, k, 1, c, m)
+	cfloat.Gemm(cfloat.NoTrans, cfloat.NoTrans, m, n, k, 1, a, m, b, k, 1, c, m)
 	ab := make([]complex64, m*n)
-	Gemm(NoTrans, NoTrans, m, n, k, 1, a, m, b, k, 0, ab, m)
+	cfloat.Gemm(cfloat.NoTrans, cfloat.NoTrans, m, n, k, 1, a, m, b, k, 0, ab, m)
 	for i := range c {
 		if cAbs(c[i]-(c0[i]+ab[i])) > 1e-3*(1+cAbs(c[i])) {
 			t.Fatalf("beta=1 at %d", i)
@@ -462,7 +452,7 @@ func TestGemmBetaPaths(t *testing.T) {
 	}
 	// beta = 2i scales
 	c2 := append([]complex64(nil), c0...)
-	Gemm(NoTrans, NoTrans, m, n, k, 0, a, m, b, k, 2i, c2, m)
+	cfloat.Gemm(cfloat.NoTrans, cfloat.NoTrans, m, n, k, 0, a, m, b, k, 2i, c2, m)
 	for i := range c2 {
 		if cAbs(c2[i]-2i*c0[i]) > 1e-4*(1+cAbs(c2[i])) {
 			t.Fatalf("beta=2i at %d", i)
@@ -472,20 +462,22 @@ func TestGemmBetaPaths(t *testing.T) {
 
 func TestGemvPanics(t *testing.T) {
 	for name, f := range map[string]func(){
-		"badDims":  func() { Gemv(NoTrans, -1, 2, 1, nil, 1, nil, 0, nil) },
-		"shortVec": func() { Gemv(NoTrans, 2, 2, 1, make([]complex64, 4), 2, make([]complex64, 1), 0, make([]complex64, 2)) },
+		"badDims": func() { cfloat.Gemv(cfloat.NoTrans, -1, 2, 1, nil, 1, nil, 0, nil) },
+		"shortVec": func() {
+			cfloat.Gemv(cfloat.NoTrans, 2, 2, 1, make([]complex64, 4), 2, make([]complex64, 1), 0, make([]complex64, 2))
+		},
 		"shortOutT": func() {
-			Gemv(ConjTrans, 2, 2, 1, make([]complex64, 4), 2, make([]complex64, 2), 0, make([]complex64, 1))
+			cfloat.Gemv(cfloat.ConjTrans, 2, 2, 1, make([]complex64, 4), 2, make([]complex64, 2), 0, make([]complex64, 1))
 		},
 		"badTrans": func() {
-			Gemv(Trans(9), 2, 2, 1, make([]complex64, 4), 2, make([]complex64, 2), 0, make([]complex64, 2))
+			cfloat.Gemv(cfloat.Trans(9), 2, 2, 1, make([]complex64, 4), 2, make([]complex64, 2), 0, make([]complex64, 2))
 		},
-		"gemmDims": func() { Gemm(NoTrans, NoTrans, -1, 1, 1, 1, nil, 1, nil, 1, 0, nil, 1) },
-		"realGemv": func() { RealGemv(2, 2, make([]float32, 4), 1, make([]float32, 2), make([]float32, 2)) },
-		"split":    func() { SplitReIm(make([]complex64, 2), make([]float32, 1), make([]float32, 2)) },
-		"merge":    func() { MergeReIm(make([]float32, 1), make([]float32, 2), make([]complex64, 2)) },
-		"copy":     func() { Copy(make([]complex64, 1), make([]complex64, 2)) },
-		"dotu":     func() { Dotu(make([]complex64, 1), make([]complex64, 2)) },
+		"gemmDims": func() { cfloat.Gemm(cfloat.NoTrans, cfloat.NoTrans, -1, 1, 1, 1, nil, 1, nil, 1, 0, nil, 1) },
+		"realGemv": func() { cfloat.RealGemv(2, 2, make([]float32, 4), 1, make([]float32, 2), make([]float32, 2)) },
+		"split":    func() { cfloat.SplitReIm(make([]complex64, 2), make([]float32, 1), make([]float32, 2)) },
+		"merge":    func() { cfloat.MergeReIm(make([]float32, 1), make([]float32, 2), make([]complex64, 2)) },
+		"copy":     func() { cfloat.Copy(make([]complex64, 1), make([]complex64, 2)) },
+		"dotu":     func() { cfloat.Dotu(make([]complex64, 1), make([]complex64, 2)) },
 	} {
 		func() {
 			defer func() {
@@ -499,7 +491,7 @@ func TestGemvPanics(t *testing.T) {
 }
 
 func TestAsum(t *testing.T) {
-	if Asum([]complex64{3 + 4i, -1 - 1i}) != 9 {
-		t.Error("Asum wrong")
+	if cfloat.Asum([]complex64{3 + 4i, -1 - 1i}) != 9 {
+		t.Error("cfloat.Asum wrong")
 	}
 }

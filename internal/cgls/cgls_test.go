@@ -2,12 +2,12 @@ package cgls
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 
 	"repro/internal/cfloat"
 	"repro/internal/dense"
 	"repro/internal/lsqr"
+	"repro/internal/testkit"
 )
 
 func denseOp(a *dense.Matrix) *lsqr.MatOperator {
@@ -19,20 +19,8 @@ func denseOp(a *dense.Matrix) *lsqr.MatOperator {
 	}
 }
 
-func relErr(got, want []complex64) float64 {
-	d := make([]complex64, len(got))
-	for i := range d {
-		d[i] = got[i] - want[i]
-	}
-	nw := cfloat.Nrm2(want)
-	if nw == 0 {
-		return cfloat.Nrm2(d)
-	}
-	return cfloat.Nrm2(d) / nw
-}
-
 func TestSolveConsistentSystem(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := testkit.NewRNG(1)
 	m, n := 40, 12
 	a := dense.Random(rng, m, n)
 	xTrue := dense.Random(rng, n, 1).Data
@@ -42,7 +30,7 @@ func TestSolveConsistentSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e := relErr(res.X, xTrue); e > 1e-3 {
+	if e := testkit.RelErr(res.X, xTrue); e > 1e-3 {
 		t.Errorf("solve error %g after %d iters", e, res.Iters)
 	}
 	if !res.Converged {
@@ -53,7 +41,7 @@ func TestSolveConsistentSystem(t *testing.T) {
 func TestAgreesWithLSQR(t *testing.T) {
 	// CGLS and LSQR build the same Krylov iterates: after the same number
 	// of iterations on a well-conditioned system the solutions must agree
-	rng := rand.New(rand.NewSource(2))
+	rng := testkit.NewRNG(2)
 	m, n := 30, 30
 	a := dense.Random(rng, m, n)
 	for i := 0; i < n; i++ {
@@ -69,13 +57,13 @@ func TestAgreesWithLSQR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e := relErr(rc.X, rl.X); e > 1e-2 {
+	if e := testkit.RelErr(rc.X, rl.X); e > 1e-2 {
 		t.Errorf("CGLS and LSQR diverge: %g", e)
 	}
 }
 
 func TestResidualMonotone(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := testkit.NewRNG(3)
 	a := dense.Random(rng, 50, 20)
 	b := dense.Random(rng, 50, 1).Data
 	res, err := Solve(denseOp(a), b, Options{MaxIters: 25})
@@ -90,7 +78,7 @@ func TestResidualMonotone(t *testing.T) {
 }
 
 func TestDampingShrinksSolution(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
+	rng := testkit.NewRNG(4)
 	a := dense.Random(rng, 25, 25)
 	b := dense.Random(rng, 25, 1).Data
 	r0, err := Solve(denseOp(a), b, Options{MaxIters: 50})
@@ -125,7 +113,7 @@ func TestRHSMismatch(t *testing.T) {
 }
 
 func TestNormalResidualReported(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := testkit.NewRNG(5)
 	a := dense.Random(rng, 20, 8)
 	b := dense.Random(rng, 20, 1).Data
 	res, err := Solve(denseOp(a), b, Options{MaxIters: 60, Tol: 1e-12})
@@ -139,7 +127,7 @@ func TestNormalResidualReported(t *testing.T) {
 }
 
 func BenchmarkSolve30Iters(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
+	rng := testkit.NewRNG(1)
 	a := dense.Random(rng, 128, 128)
 	rhs := dense.Random(rng, 128, 1).Data
 	op := denseOp(a)

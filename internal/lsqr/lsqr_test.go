@@ -1,11 +1,11 @@
 package lsqr
 
 import (
-	"math/rand"
 	"testing"
 
 	"repro/internal/cfloat"
 	"repro/internal/dense"
+	"repro/internal/testkit"
 )
 
 func denseOp(a *dense.Matrix) *MatOperator {
@@ -17,29 +17,17 @@ func denseOp(a *dense.Matrix) *MatOperator {
 	}
 }
 
-func relErr(got, want []complex64) float64 {
-	d := make([]complex64, len(got))
-	for i := range d {
-		d[i] = got[i] - want[i]
-	}
-	nw := cfloat.Nrm2(want)
-	if nw == 0 {
-		return cfloat.Nrm2(d)
-	}
-	return cfloat.Nrm2(d) / nw
-}
-
 func TestSolveIdentity(t *testing.T) {
 	n := 10
 	a := dense.Eye(n)
-	rng := rand.New(rand.NewSource(1))
+	rng := testkit.NewRNG(1)
 	b := dense.Random(rng, n, 1).Data
 	res, err := Solve(denseOp(a), b, Options{MaxIters: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if relErr(res.X, b) > 1e-5 {
-		t.Errorf("identity solve error %g", relErr(res.X, b))
+	if testkit.RelErr(res.X, b) > 1e-5 {
+		t.Errorf("identity solve error %g", testkit.RelErr(res.X, b))
 	}
 	if !res.Converged {
 		t.Error("identity solve did not converge")
@@ -47,7 +35,7 @@ func TestSolveIdentity(t *testing.T) {
 }
 
 func TestSolveWellConditionedSquare(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := testkit.NewRNG(2)
 	n := 20
 	// A = I*4 + small random part: well conditioned
 	a := dense.Random(rng, n, n)
@@ -61,14 +49,14 @@ func TestSolveWellConditionedSquare(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e := relErr(res.X, xTrue); e > 1e-3 {
+	if e := testkit.RelErr(res.X, xTrue); e > 1e-3 {
 		t.Errorf("square solve error %g after %d iters", e, res.Iters)
 	}
 }
 
 func TestSolveOverdeterminedLeastSquares(t *testing.T) {
 	// consistent overdetermined system: exact solution must be found
-	rng := rand.New(rand.NewSource(3))
+	rng := testkit.NewRNG(3)
 	m, n := 40, 12
 	a := dense.Random(rng, m, n)
 	xTrue := dense.Random(rng, n, 1).Data
@@ -78,14 +66,14 @@ func TestSolveOverdeterminedLeastSquares(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e := relErr(res.X, xTrue); e > 1e-3 {
+	if e := testkit.RelErr(res.X, xTrue); e > 1e-3 {
 		t.Errorf("overdetermined solve error %g", e)
 	}
 }
 
 func TestLeastSquaresResidualOrthogonality(t *testing.T) {
 	// for inconsistent systems, at the LS solution Aᴴ(b−Ax) ≈ 0
-	rng := rand.New(rand.NewSource(4))
+	rng := testkit.NewRNG(4)
 	m, n := 30, 8
 	a := dense.Random(rng, m, n)
 	b := dense.Random(rng, m, 1).Data
@@ -106,7 +94,7 @@ func TestLeastSquaresResidualOrthogonality(t *testing.T) {
 }
 
 func TestResidualHistoryMonotone(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := testkit.NewRNG(5)
 	m, n := 50, 20
 	a := dense.Random(rng, m, n)
 	b := dense.Random(rng, m, 1).Data
@@ -144,7 +132,7 @@ func TestRHSLengthMismatch(t *testing.T) {
 func TestDampingShrinksSolution(t *testing.T) {
 	// Tikhonov damping must reduce ‖x‖ — the regularization MDD leans on
 	// for its ill-posed inversion.
-	rng := rand.New(rand.NewSource(6))
+	rng := testkit.NewRNG(6)
 	m, n := 30, 30
 	a := dense.Random(rng, m, n)
 	b := dense.Random(rng, m, 1).Data
@@ -163,7 +151,7 @@ func TestDampingShrinksSolution(t *testing.T) {
 }
 
 func TestMaxItersRespected(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	rng := testkit.NewRNG(7)
 	a := dense.Random(rng, 40, 40)
 	b := dense.Random(rng, 40, 1).Data
 	res, err := Solve(denseOp(a), b, Options{MaxIters: 7, ATol: 1e-16, BTol: 1e-16})
@@ -176,7 +164,7 @@ func TestMaxItersRespected(t *testing.T) {
 }
 
 func TestDefaultsApplied(t *testing.T) {
-	rng := rand.New(rand.NewSource(8))
+	rng := testkit.NewRNG(8)
 	a := dense.Random(rng, 10, 10)
 	b := dense.Random(rng, 10, 1).Data
 	res, err := Solve(denseOp(a), b, Options{})
@@ -203,7 +191,7 @@ func TestComplexSystemExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e := relErr(res.X, xTrue); e > 1e-4 {
+	if e := testkit.RelErr(res.X, xTrue); e > 1e-4 {
 		t.Errorf("complex exact solve error %g, x=%v", e, res.X)
 	}
 }
@@ -211,7 +199,7 @@ func TestComplexSystemExact(t *testing.T) {
 func TestThirtyIterationsReduceResidualSubstantially(t *testing.T) {
 	// the paper's operating point: 30 iterations on an ill-posed but
 	// structured system should reduce the residual by orders of magnitude
-	rng := rand.New(rand.NewSource(9))
+	rng := testkit.NewRNG(9)
 	m, n := 60, 60
 	// moderately conditioned: diag decay 1..0.05
 	a := dense.Random(rng, m, n)
@@ -235,7 +223,7 @@ func TestThirtyIterationsReduceResidualSubstantially(t *testing.T) {
 }
 
 func BenchmarkSolve30Iters(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
+	rng := testkit.NewRNG(1)
 	m, n := 128, 128
 	a := dense.Random(rng, m, n)
 	rhs := dense.Random(rng, m, 1).Data

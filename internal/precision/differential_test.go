@@ -1,0 +1,144 @@
+// Differential tests for reduced-precision storage: the quantized TLR
+// operator against the dense reference with format-derived tolerances,
+// for every format and policy. External test package: testkit imports
+// precision.
+package precision_test
+
+import (
+	"testing"
+
+	"repro/internal/precision"
+	"repro/internal/testkit"
+	"repro/internal/tlr"
+)
+
+func compressed(t *testing.T) (*tlr.Matrix, int) {
+	t.Helper()
+	a := testkit.DecayMat(testkit.NewRNG(71), 48, 48, 0.6)
+	tm, err := tlr.Compress(a, tlr.Options{NB: 12, Tol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm, a.Cols
+}
+
+// TestFP32QuantizationIsExact: routing through the FP32 "format" must not
+// move a single bit.
+func TestFP32QuantizationIsExact(t *testing.T) {
+	tm, n := compressed(t)
+	q, err := precision.Quantize(tm, precision.Uniform{F: precision.FP32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := testkit.Vec(testkit.NewRNG(72), n)
+	want := make([]complex64, tm.M)
+	got := make([]complex64, tm.M)
+	tm.MulVec(x, want)
+	q.T.MulVec(x, got)
+	if d := testkit.MaxULPDist(got, want); d != 0 {
+		t.Fatalf("FP32 quantization moved the result %d ULPs", d)
+	}
+}
+
+// TestDifferentialFormats: each storage format's MVM must stay inside its
+// eps-derived budget against the unquantized operator, and the budgets
+// must order FP16 tighter than BF16 (more mantissa bits).
+func TestDifferentialFormats(t *testing.T) {
+	tm, n := compressed(t)
+	rng := testkit.NewRNG(73)
+	x := testkit.Vec(rng, n)
+	want := make([]complex64, tm.M)
+	tm.MulVec(x, want)
+	errs := map[precision.Format]float64{}
+	for _, f := range []precision.Format{precision.FP16, precision.BF16} {
+		q, err := precision.Quantize(tm, precision.Uniform{F: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]complex64, tm.M)
+		q.T.MulVec(x, got)
+		e := testkit.RelErr(got, want)
+		tol := testkit.MVMTolerance(n, 0, f)
+		if e > tol {
+			t.Errorf("%s: relErr %g > format budget %g", f, e, tol)
+		}
+		if q.StoredBytes >= tm.CompressedBytes() {
+			t.Errorf("%s: stored %d B not below FP32 %d B", f, q.StoredBytes, tm.CompressedBytes())
+		}
+		errs[f] = e
+	}
+	if errs[precision.FP16] >= errs[precision.BF16] {
+		t.Errorf("fp16 error %g should undercut bf16 %g on in-range data",
+			errs[precision.FP16], errs[precision.BF16])
+	}
+}
+
+// TestDifferentialDiagonalBandPolicy: the adaptive policy must land
+// between uniform FP32 and uniform demotion in both storage and error.
+func TestDifferentialDiagonalBandPolicy(t *testing.T) {
+	tm, n := compressed(t)
+	x := testkit.Vec(testkit.NewRNG(74), n)
+	want := make([]complex64, tm.M)
+	tm.MulVec(x, want)
+	uni, err := precision.Quantize(tm, precision.Uniform{F: precision.BF16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	band, err := precision.Quantize(tm, precision.DiagonalBand{Band: 0.3, Demoted: precision.BF16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotUni := make([]complex64, tm.M)
+	gotBand := make([]complex64, tm.M)
+	uni.T.MulVec(x, gotUni)
+	band.T.MulVec(x, gotBand)
+	if testkit.RelErr(gotBand, want) > testkit.RelErr(gotUni, want)*1.5 {
+		t.Errorf("band policy error %g much worse than uniform %g",
+			testkit.RelErr(gotBand, want), testkit.RelErr(gotUni, want))
+	}
+	if band.StoredBytes <= uni.StoredBytes {
+		t.Errorf("band policy (%d B) should store more than uniform demotion (%d B)",
+			band.StoredBytes, uni.StoredBytes)
+	}
+	if band.StoredBytes >= tm.CompressedBytes() {
+		t.Errorf("band policy (%d B) should store less than full FP32 (%d B)",
+			band.StoredBytes, tm.CompressedBytes())
+	}
+}
+
+// TestDifferentialOracleWithQuantization runs the full oracle with a
+// BF16 leg: every implementation plus the quantized operator.
+func TestDifferentialOracleWithQuantization(t *testing.T) {
+	a := testkit.DecayMat(testkit.NewRNG(75), 40, 40, 0.55)
+	o, err := testkit.New(a, testkit.Config{
+		TLROpts: tlr.Options{NB: 10, Tol: 1e-3},
+		Format:  precision.BF16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Check(testkit.NewRNG(76), 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantizedAdjointConsistency: quantization must preserve the exact
+// forward/adjoint pairing (it is still one matrix applied two ways).
+func TestQuantizedAdjointConsistency(t *testing.T) {
+	tm, _ := compressed(t)
+	q, err := precision.Quantize(tm, precision.Uniform{F: precision.FP16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := qOperator{q.T}
+	if gap := testkit.AdjointGap(op, testkit.NewRNG(77), 4); gap > 1e-4 {
+		t.Errorf("quantized adjoint gap %g", gap)
+	}
+}
+
+type qOperator struct{ t *tlr.Matrix }
+
+func (o qOperator) Rows() int                     { return o.t.M }
+func (o qOperator) Cols() int                     { return o.t.N }
+func (o qOperator) Apply(x, y []complex64)        { o.t.MulVec(x, y) }
+func (o qOperator) ApplyAdjoint(x, y []complex64) { o.t.MulVecConjTrans(x, y) }

@@ -1,0 +1,311 @@
+package testkit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cs2"
+	"repro/internal/dense"
+	"repro/internal/mdc"
+	"repro/internal/precision"
+	"repro/internal/tlr"
+	"repro/internal/wsesim"
+)
+
+// Impl is one implementation under differential test: a way of computing
+// y = A x (and optionally y = Aᴴ x) that must agree with the dense
+// reference within Tol and with the sequential TLR reference within
+// PairTol (0 skips the pairwise check).
+type Impl struct {
+	Name    string
+	Apply   func(x, y []complex64) error
+	Adjoint func(x, y []complex64) // nil when the path has no adjoint
+	Tol     float64
+	PairTol float64
+}
+
+// Config parameterizes an oracle case.
+type Config struct {
+	// TLROpts drives the compression every compressed implementation
+	// shares (NB and Tol are the paper's nb and acc).
+	TLROpts tlr.Options
+	// Format, when not FP32, adds a reduced-precision-storage
+	// implementation with a format-derived tolerance.
+	Format precision.Format
+	// StackWidth is the wsesim chunk height (0 = NB).
+	StackWidth int
+	// Workers bounds parallel implementations (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Oracle runs one (matrix, tolerance, precision) case through every
+// implementation of the TLR-MVM stack and asserts agreement plus
+// hardware-model invariants. Implementations covered: dense MVM (the
+// reference), sequential/parallel/batched TLR-MVM, the MDC frequency
+// operator over both dense and TLR kernels, the wsesim functional PE
+// simulation, and (optionally) the reduced-precision quantized operator.
+type Oracle struct {
+	A     *dense.Matrix
+	T     *tlr.Matrix
+	Cfg   Config
+	Impls []Impl
+
+	machine *wsesim.Machine
+	// perMulFMACs / perMulBytes are the §6.6 absolute per-product costs
+	// predicted from the chunk plan; the executed meters must match.
+	perMulFMACs int64
+	perMulBytes int64
+	wsesimMuls  int64
+}
+
+// New compresses a with cfg.TLROpts and assembles the implementation set.
+func New(a *dense.Matrix, cfg Config) (*Oracle, error) {
+	t, err := tlr.Compress(a, cfg.TLROpts)
+	if err != nil {
+		return nil, fmt.Errorf("testkit: compressing oracle matrix: %w", err)
+	}
+	o := &Oracle{A: a, T: t, Cfg: cfg}
+	n := a.Cols
+	acc := cfg.TLROpts.Tol
+	compTol := MVMTolerance(n, acc, precision.FP32)
+	pairTol := ExecTolerance(n)
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 4
+	}
+
+	o.Impls = append(o.Impls, Impl{
+		Name: "tlr",
+		Apply: func(x, y []complex64) error {
+			t.MulVec(x, y)
+			return nil
+		},
+		Adjoint: t.MulVecConjTrans,
+		Tol:     compTol,
+	})
+	o.Impls = append(o.Impls, Impl{
+		Name: "tlr-parallel",
+		Apply: func(x, y []complex64) error {
+			t.MulVecParallel(x, y, workers)
+			return nil
+		},
+		Adjoint: func(x, y []complex64) { t.MulVecConjTransParallel(x, y, workers) },
+		Tol:     compTol,
+		PairTol: pairTol,
+	})
+	o.Impls = append(o.Impls, Impl{
+		Name: "tlr-batched",
+		Apply: func(x, y []complex64) error {
+			return t.MulVecBatched(x, y, workers)
+		},
+		Tol:     compTol,
+		PairTol: pairTol,
+	})
+
+	// MDC operator with a single-frequency dense kernel: must reproduce
+	// the dense reference up to execution-order rounding.
+	dk, err := mdc.NewDenseKernel([]*dense.Matrix{a})
+	if err != nil {
+		return nil, err
+	}
+	denseOp := &mdc.FreqOperator{K: dk, Workers: workers}
+	o.Impls = append(o.Impls, Impl{
+		Name: "mdc-dense",
+		Apply: func(x, y []complex64) error {
+			denseOp.Apply(x, y)
+			return nil
+		},
+		Adjoint: denseOp.ApplyAdjoint,
+		Tol:     pairTol,
+	})
+	// MDC operator with the TLR kernel: the paper's configuration.
+	tlrOp := &mdc.FreqOperator{K: &mdc.TLRKernel{Mats: []*tlr.Matrix{t}}, Workers: workers}
+	o.Impls = append(o.Impls, Impl{
+		Name: "mdc-tlr",
+		Apply: func(x, y []complex64) error {
+			tlrOp.Apply(x, y)
+			return nil
+		},
+		Adjoint: tlrOp.ApplyAdjoint,
+		Tol:     compTol,
+		PairTol: pairTol,
+	})
+
+	// wsesim: the functional CS-2 PE simulation of the same TLR matrix.
+	sw := cfg.StackWidth
+	if sw <= 0 {
+		sw = cfg.TLROpts.NB
+	}
+	machine, err := wsesim.Build(t, sw, cs2.DefaultArch())
+	if err != nil {
+		return nil, fmt.Errorf("testkit: building wsesim machine: %w", err)
+	}
+	o.machine = machine
+	o.perMulFMACs, o.perMulBytes = predictPerMul(machine)
+	o.Impls = append(o.Impls, Impl{
+		Name: "wsesim",
+		Apply: func(x, y []complex64) error {
+			machine.MulVec(x, y)
+			o.wsesimMuls++
+			return nil
+		},
+		Tol:     compTol,
+		PairTol: pairTol,
+	})
+
+	if cfg.Format != precision.FP32 {
+		q, err := precision.Quantize(t, precision.Uniform{F: cfg.Format})
+		if err != nil {
+			return nil, err
+		}
+		qTol := MVMTolerance(n, acc, cfg.Format)
+		o.Impls = append(o.Impls, Impl{
+			Name: "precision-" + cfg.Format.String(),
+			Apply: func(x, y []complex64) error {
+				q.T.MulVec(x, y)
+				return nil
+			},
+			Adjoint: q.T.MulVecConjTrans,
+			Tol:     qTol,
+			PairTol: qTol,
+		})
+	}
+	return o, nil
+}
+
+// predictPerMul computes, from the chunk plan alone, the §6.6 absolute
+// byte count and fmac count one full MulVec must execute: every PE runs
+// four real MVMs of its V chunk (Rows × ColExtent) and four per U
+// segment (rowExtent × K).
+func predictPerMul(m *wsesim.Machine) (fmacs, bytes int64) {
+	for _, pe := range m.PEs {
+		colExt := pe.ColExtent
+		rows := pe.Chunk.Rows
+		fmacs += 4 * cs2.FMACs(rows, colExt)
+		bytes += 4 * cs2.AbsoluteBytes(rows, colExt)
+		for _, seg := range pe.Chunk.Segments {
+			rowExt := min((seg.TileRow+1)*m.T.NB, m.T.M) - seg.TileRow*m.T.NB
+			fmacs += 4 * cs2.FMACs(rowExt, seg.K)
+			bytes += 4 * cs2.AbsoluteBytes(rowExt, seg.K)
+		}
+	}
+	return fmacs, bytes
+}
+
+// Check runs trials random vectors through every implementation,
+// asserting each against the dense reference (Tol) and against the
+// sequential TLR output (PairTol), then verifies the invariants:
+// adjoint consistency for every implementation that has an adjoint, and
+// wsesim cycle/traffic consistency with the §6.5–§6.7 formulas.
+func (o *Oracle) Check(rng *rand.Rand, trials int) error {
+	m, n := o.A.Rows, o.A.Cols
+	ref := make([]complex64, m)
+	pairRef := make([]complex64, m)
+	got := make([]complex64, m)
+	for trial := 0; trial < trials; trial++ {
+		x := Vec(rng, n)
+		o.A.MulVec(x, ref)
+		for k, impl := range o.Impls {
+			if err := impl.Apply(x, got); err != nil {
+				return fmt.Errorf("oracle trial %d: %s failed: %w", trial, impl.Name, err)
+			}
+			if e := RelErr(got, ref); e > impl.Tol {
+				return fmt.Errorf("oracle trial %d: %s deviates from dense reference: relErr %.3g > tol %.3g",
+					trial, impl.Name, e, impl.Tol)
+			}
+			if k == 0 {
+				copy(pairRef, got)
+				continue
+			}
+			if impl.PairTol > 0 {
+				if e := RelErr(got, pairRef); e > impl.PairTol {
+					return fmt.Errorf("oracle trial %d: %s deviates from %s: relErr %.3g > pairTol %.3g",
+						trial, impl.Name, o.Impls[0].Name, e, impl.PairTol)
+				}
+			}
+		}
+	}
+	return o.checkInvariants(rng)
+}
+
+// implOperator adapts an Impl with an adjoint to the Operator shape.
+type implOperator struct {
+	m, n int
+	impl Impl
+}
+
+func (io *implOperator) Rows() int { return io.m }
+func (io *implOperator) Cols() int { return io.n }
+func (io *implOperator) Apply(x, y []complex64) {
+	if err := io.impl.Apply(x, y); err != nil {
+		panic(err)
+	}
+}
+func (io *implOperator) ApplyAdjoint(x, y []complex64) { io.impl.Adjoint(x, y) }
+
+func (o *Oracle) checkInvariants(rng *rand.Rand) error {
+	m, n := o.A.Rows, o.A.Cols
+	// 1. adjoint consistency ⟨Ax, y⟩ ≈ ⟨x, Aᴴy⟩ for every two-sided path
+	//    (what LSQR/CGLS convergence rests on).
+	adjTol := 1e-3
+	for _, impl := range o.Impls {
+		if impl.Adjoint == nil {
+			continue
+		}
+		gap := AdjointGap(&implOperator{m: m, n: n, impl: impl}, rng, 3)
+		if gap > adjTol {
+			return fmt.Errorf("oracle: %s violates adjoint identity: gap %.3g > %.3g",
+				impl.Name, gap, adjTol)
+		}
+	}
+	// 2. cycle model: the machine's worst-chunk cycle count must be
+	//    positive and exactly reproduce the §6.7 strategy-1 formula.
+	var wantCycles int64
+	for _, pe := range o.machine.PEs {
+		c := cs2.ChunkCycles(o.T.NB, pe.Chunk.Rows, len(pe.Chunk.Segments))
+		if c <= 0 {
+			return fmt.Errorf("oracle: nonpositive chunk cycles for PE at col %d row %d",
+				pe.Chunk.Col, pe.Chunk.Row0)
+		}
+		if c > wantCycles {
+			wantCycles = c
+		}
+	}
+	if got := o.machine.ModelCycles(); got != wantCycles {
+		return fmt.Errorf("oracle: ModelCycles %d != ChunkCycles recomputation %d", got, wantCycles)
+	}
+	// 3. executed traffic: the meters tallied while the oracle ran must
+	//    equal the §6.6 absolute-bytes prediction from the chunk plan.
+	if o.wsesimMuls > 0 {
+		meter := o.machine.TotalMeter()
+		if meter.FMACs != o.wsesimMuls*o.perMulFMACs {
+			return fmt.Errorf("oracle: executed FMACs %d != predicted %d (%d products × %d)",
+				meter.FMACs, o.wsesimMuls*o.perMulFMACs, o.wsesimMuls, o.perMulFMACs)
+		}
+		if meter.Bytes() != o.wsesimMuls*o.perMulBytes {
+			return fmt.Errorf("oracle: executed bytes %d != predicted absolute bytes %d",
+				meter.Bytes(), o.wsesimMuls*o.perMulBytes)
+		}
+	}
+	return nil
+}
+
+// CompressionHolds asserts the TLR approximation actually meets the
+// configured accuracy on the dense matrix — the premise the per-impl
+// tolerances are derived from. Tests call it before Check so a tolerance
+// violation is attributed to compression rather than execution.
+func (o *Oracle) CompressionHolds() error {
+	acc := o.Cfg.TLROpts.Tol
+	if acc == 0 {
+		return nil
+	}
+	rec := o.T.Reconstruct()
+	// per-tile Frobenius bounds compound at most √(mt·nt) in the global
+	// Frobenius norm; in practice the global error sits below acc itself.
+	// Use the analytic worst case.
+	bound := acc * float64(o.T.MT*o.T.NT)
+	if e := dense.RelError(rec, o.A); e > bound {
+		return fmt.Errorf("oracle: reconstruction error %.3g exceeds bound %.3g (acc %.3g)", e, bound, acc)
+	}
+	return nil
+}

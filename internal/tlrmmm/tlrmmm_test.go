@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/dense"
+	"repro/internal/testkit"
 	"repro/internal/tlr"
 )
 
@@ -30,7 +31,7 @@ func smoothMatrix(rng *rand.Rand, m, n int) *dense.Matrix {
 
 func compress(t testing.TB, m, n int) (*tlr.Matrix, *dense.Matrix) {
 	t.Helper()
-	rng := rand.New(rand.NewSource(11))
+	rng := testkit.NewRNG(11)
 	a := smoothMatrix(rng, m, n)
 	tm, err := tlr.Compress(a, tlr.Options{NB: 16, Tol: 1e-5})
 	if err != nil {
@@ -41,7 +42,7 @@ func compress(t testing.TB, m, n int) (*tlr.Matrix, *dense.Matrix) {
 
 func TestFusedMatchesNaiveAndDense(t *testing.T) {
 	tm, a := compress(t, 80, 64)
-	rng := rand.New(rand.NewSource(12))
+	rng := testkit.NewRNG(12)
 	shots := 7
 	x := dense.Random(rng, 64, shots)
 	yn := dense.New(80, shots)
@@ -64,7 +65,7 @@ func TestFusedMatchesNaiveAndDense(t *testing.T) {
 
 func TestFusedParallelMatchesSequential(t *testing.T) {
 	tm, _ := compress(t, 96, 80)
-	rng := rand.New(rand.NewSource(13))
+	rng := testkit.NewRNG(13)
 	x := dense.Random(rng, 80, 5)
 	y1 := dense.New(96, 5)
 	if err := MulMatFused(tm, x, y1); err != nil {
@@ -95,7 +96,7 @@ func TestShapeValidation(t *testing.T) {
 
 func TestSingleShotEqualsMulVec(t *testing.T) {
 	tm, _ := compress(t, 48, 48)
-	rng := rand.New(rand.NewSource(14))
+	rng := testkit.NewRNG(14)
 	x := dense.Random(rng, 48, 1)
 	y := dense.New(48, 1)
 	if err := MulMatFused(tm, x, y); err != nil {
@@ -170,7 +171,7 @@ func TestCrossoverShots(t *testing.T) {
 
 func BenchmarkNaive16Shots(b *testing.B) {
 	tm, _ := compress(b, 128, 128)
-	rng := rand.New(rand.NewSource(1))
+	rng := testkit.NewRNG(1)
 	x := dense.Random(rng, 128, 16)
 	y := dense.New(128, 16)
 	b.ResetTimer()
@@ -181,7 +182,7 @@ func BenchmarkNaive16Shots(b *testing.B) {
 
 func BenchmarkFused16Shots(b *testing.B) {
 	tm, _ := compress(b, 128, 128)
-	rng := rand.New(rand.NewSource(1))
+	rng := testkit.NewRNG(1)
 	x := dense.Random(rng, 128, 16)
 	y := dense.New(128, 16)
 	b.ResetTimer()
