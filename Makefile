@@ -16,7 +16,7 @@ FUZZ_TARGETS = \
 
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz bench
+.PHONY: all build vet test race fuzz bench bench-json bench-compare lint vuln cover
 
 all: vet build test
 
@@ -41,3 +41,40 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# ---- continuous benchmarking (mirrors the CI bench job) ----
+
+BENCH_PROFILE ?= short
+BENCH_OUT ?= BENCH_ci.json
+
+bench-json:
+	$(GO) run ./cmd/benchreport run -profile $(BENCH_PROFILE) -label local -o $(BENCH_OUT)
+
+bench-compare: bench-json
+	$(GO) run ./cmd/benchreport compare BENCH_baseline.json $(BENCH_OUT)
+
+# ---- static analysis / vulnerability scan (mirrors CI lint/vuln jobs) ----
+# staticcheck and govulncheck are fetched by CI; locally they are used
+# only if already on PATH.
+
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; ran go vet only" \
+		     "(install: go install honnef.co/go/tools/cmd/staticcheck@2025.1.1)"; \
+	fi
+
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed" \
+		     "(install: go install golang.org/x/vuln/cmd/govulncheck@v1.1.4)"; \
+	fi
+
+# ---- coverage (mirrors the CI cover job; floor documented in TESTING.md) ----
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1

@@ -144,8 +144,6 @@ func mmmAblation() {
 			tlrmmm.NaiveTraffic(tm, shots).Intensity,
 			tlrmmm.FusedTraffic(tm, shots).Intensity)
 	}
-	cs2sys := cs2.DefaultArch()
-	_ = cs2sys
 	// crossover on a CS-2: ridge = 1.7 PFlop/s / 20 PB/s = 0.085 flop/B
 	if s := tlrmmm.CrossoverShots(tm, 20e15, 1.7e15); s > 0 {
 		fmt.Printf("shots to leave the CS-2's memory-bound regime: %d\n", s)

@@ -117,8 +117,7 @@ func TestWaferSimulatorAgreesWithAnalyticModel(t *testing.T) {
 	var wantFMACs int64
 	for _, pe := range mach.PEs {
 		wantFMACs += 4 * int64(pe.Chunk.Rows) * int64(pe.ColExtent)
-		for s, seg := range pe.Chunk.Segments {
-			_ = s
+		for _, seg := range pe.Chunk.Segments {
 			wantFMACs += 4 * int64(seg.K) * int64(tm.Tile(seg.TileRow, pe.Chunk.Col).U.Rows)
 		}
 	}

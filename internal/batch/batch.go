@@ -16,6 +16,15 @@ import (
 	"sync"
 
 	"repro/internal/cfloat"
+	"repro/internal/obs"
+)
+
+// Batch-engine metrics: one timer per Run, counters for members and
+// scheduled fmac work (2 flops each in the §6.6 convention).
+var (
+	obsRun   = obs.NewTimer("batch.run")
+	obsTasks = obs.NewCounter("batch.tasks")
+	obsMeter = obs.NewMeter("batch.run")
 )
 
 // Op selects how each MVM applies its matrix.
@@ -90,6 +99,10 @@ func Run(tasks []MVM, opts Options) error {
 		}
 		total += tasks[i].work()
 	}
+	defer obsRun.Start().End()
+	obsTasks.Add(int64(len(tasks)))
+	// a complex fmac is 8 real flops and touches A once plus x and y
+	obsMeter.Add(8*total, 8*total)
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -1,0 +1,279 @@
+package benchreport
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cs2"
+	"repro/internal/mdc"
+	"repro/internal/obs"
+	"repro/internal/ranks"
+	"repro/internal/seismic"
+	"repro/internal/sfc"
+	"repro/internal/tlr"
+	"repro/internal/wse"
+	"repro/internal/wsesim"
+)
+
+// Profile sizes one benchreport run. The measured quantities are the
+// same in every profile; only the workload scale and repetition counts
+// differ, so short (CI) and full (workstation) reports stay comparable
+// metric-for-metric.
+type Profile struct {
+	Name    string
+	Dataset seismic.Options
+	// NB and Acc configure the TLR compression under test.
+	NB  int
+	Acc float64
+	// MVMReps is the repetition count for kernel timings.
+	MVMReps int
+	// SolverIters is the LSQR iteration budget of the MDD solve.
+	SolverIters int
+	// SimSW is the wsesim stack width.
+	SimSW int
+	// PaperScale includes the rank-distribution machine-model metrics
+	// (Tables 2/5 scale) — deterministic, ~seconds of calibration.
+	PaperScale bool
+}
+
+// Profiles returns the named profile or an error listing the choices.
+func Profiles(name string) (Profile, error) {
+	switch name {
+	case "short":
+		// CI profile: small survey, few reps — a couple of seconds.
+		return Profile{
+			Name: "short",
+			Dataset: seismic.Options{
+				Geom: seismic.Geometry{
+					NsX: 8, NsY: 6, NrX: 8, NrY: 4,
+					Dx: 20, Dy: 20, SrcDepth: 10, RecDepth: 300,
+				},
+				Nt: 128, Dt: 0.004,
+			},
+			NB: 8, Acc: 1e-4, MVMReps: 20, SolverIters: 10, SimSW: 8,
+			PaperScale: true,
+		}, nil
+	case "full":
+		// Workstation profile: the bench_test.go survey scale.
+		return Profile{
+			Name: "full",
+			Dataset: seismic.Options{
+				Geom: seismic.Geometry{
+					NsX: 12, NsY: 8, NrX: 10, NrY: 6,
+					Dx: 20, Dy: 20, SrcDepth: 10, RecDepth: 300,
+				},
+				Nt: 256, Dt: 0.004,
+			},
+			NB: 10, Acc: 1e-4, MVMReps: 100, SolverIters: 30, SimSW: 8,
+			PaperScale: true,
+		}, nil
+	case "smoke":
+		// Test profile: minimal everything, no paper-scale calibration.
+		return Profile{
+			Name: "smoke",
+			Dataset: seismic.Options{
+				Geom: seismic.Geometry{
+					NsX: 4, NsY: 3, NrX: 4, NrY: 3,
+					Dx: 20, Dy: 20, SrcDepth: 10, RecDepth: 300,
+				},
+				Nt: 64, Dt: 0.004,
+			},
+			NB: 4, Acc: 1e-3, MVMReps: 3, SolverIters: 5, SimSW: 4,
+		}, nil
+	}
+	return Profile{}, fmt.Errorf("benchreport: unknown profile %q (want short, full, or smoke)", name)
+}
+
+// timeOp runs f reps times after one warm-up call and returns ns/op.
+func timeOp(reps int, f func()) float64 {
+	f()
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	return float64(time.Since(t0).Nanoseconds()) / float64(reps)
+}
+
+// Run executes the curated benchmark set for the profile and assembles
+// the report. Collection on the obs registry is enabled for the duration
+// so the report's Stages section carries the per-stage timers and meters
+// alongside the headline metrics.
+func Run(label string, p Profile) (*Report, error) {
+	wasEnabled := obs.Enabled()
+	obs.Enable()
+	obs.Reset()
+	defer func() {
+		if !wasEnabled {
+			obs.Disable()
+		}
+	}()
+
+	r := NewReport(label, p.Name)
+	add := func(name string, value float64, unit, direction string, gate bool) {
+		r.Metrics = append(r.Metrics, Metric{
+			Name: name, Value: value, Unit: unit, Direction: direction, Gate: gate,
+		})
+	}
+
+	// --- workload: one Hilbert-ordered frequency slice, TLR-compressed ---
+	ds, err := seismic.Generate(p.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("benchreport: generating dataset: %w", err)
+	}
+	hds, _ := ds.Reorder(sfc.Hilbert)
+	tm, err := tlr.Compress(hds.K[hds.NumFreqs()/2], tlr.Options{NB: p.NB, Tol: p.Acc})
+	if err != nil {
+		return nil, fmt.Errorf("benchreport: compressing slice: %w", err)
+	}
+	add("tlr.compression_ratio", tm.CompressionRatio(), "x", Higher, true)
+
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex64, tm.N)
+	for i := range x {
+		x[i] = complex(rng.Float32()-0.5, rng.Float32()-0.5)
+	}
+	y := make([]complex64, tm.M)
+
+	// --- TLR-MVM: sequential, parallel, batched ---
+	flops, bytes := float64(tm.FlopCount()), float64(tm.ByteCount())
+	seqNs := timeOp(p.MVMReps, func() { tm.MulVec(x, y) })
+	add("tlr.mvm.seq.ns_op", seqNs, "ns/op", Lower, false)
+	add("tlr.mvm.seq.gflops", flops/seqNs, "GFlop/s", Higher, false)
+	add("tlr.mvm.seq.gbps", bytes/seqNs, "GB/s", Higher, false)
+
+	parNs := timeOp(p.MVMReps, func() { tm.MulVecParallel(x, y, 0) })
+	add("tlr.mvm.par.ns_op", parNs, "ns/op", Lower, false)
+	add("tlr.mvm.par.gflops", flops/parNs, "GFlop/s", Higher, false)
+
+	var batchErr error
+	batNs := timeOp(p.MVMReps, func() {
+		if err := tm.MulVecBatched(x, y, 0); err != nil {
+			batchErr = err
+		}
+	})
+	if batchErr != nil {
+		return nil, fmt.Errorf("benchreport: batched MVM: %w", batchErr)
+	}
+	add("tlr.mvm.batched.ns_op", batNs, "ns/op", Lower, false)
+	add("tlr.mvm.batched.gflops", flops/batNs, "GFlop/s", Higher, false)
+
+	// --- MDC apply: the per-frequency operator over the TLR kernel ---
+	dk, err := mdc.NewDenseKernel(hds.K)
+	if err != nil {
+		return nil, err
+	}
+	tk, err := mdc.CompressKernel(dk, tlr.Options{NB: p.NB, Tol: p.Acc})
+	if err != nil {
+		return nil, err
+	}
+	op := &mdc.FreqOperator{K: tk}
+	mx := make([]complex64, op.Cols())
+	for i := range mx {
+		mx[i] = complex(rng.Float32()-0.5, rng.Float32()-0.5)
+	}
+	my := make([]complex64, op.Rows())
+	mdcNs := timeOp(p.MVMReps, func() { op.Apply(mx, my) })
+	add("mdc.apply.ns_op", mdcNs, "ns/op", Lower, false)
+	add("mdc.kernel.compression_ratio",
+		float64(dk.Bytes())/float64(tk.Bytes()), "x", Higher, true)
+
+	// --- MDD inversion: LSQR solve quality and timing ---
+	pipe, err := core.BuildPipeline(core.PipelineOptions{
+		Dataset: p.Dataset, TileSize: p.NB, Accuracy: p.Acc,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("benchreport: building pipeline: %w", err)
+	}
+	vs := pipe.DS.Geom.NumReceivers() / 2
+	t0 := time.Now()
+	rep, err := pipe.RunMDD(vs, p.SolverIters)
+	if err != nil {
+		return nil, fmt.Errorf("benchreport: MDD solve: %w", err)
+	}
+	solveNs := float64(time.Since(t0).Nanoseconds())
+	add("mdd.solve.ns_op", solveNs, "ns/op", Lower, false)
+	add("mdd.inversion_nmse", rep.InversionNMSE, "nmse", Lower, true)
+	add("mdd.adjoint_nmse", rep.AdjointNMSE, "nmse", Lower, true)
+	add("lsqr.final_residual", rep.FinalResidual, "norm", Lower, true)
+	add("lsqr.iters", float64(rep.Iterations), "iters", Lower, false)
+	if rep.Iterations > 0 {
+		add("lsqr.iter.avg_ns", solveNs/float64(rep.Iterations), "ns/iter", Lower, false)
+	}
+
+	// --- wsesim: executed wafer-scale functional simulation ---
+	mach, err := wsesim.Build(tm, p.SimSW, cs2.DefaultArch())
+	if err != nil {
+		return nil, fmt.Errorf("benchreport: wsesim build: %w", err)
+	}
+	simNs := timeOp(p.MVMReps, func() { mach.MulVec(x, y) })
+	add("wsesim.mulvec.ns_op", simNs, "ns/op", Lower, false)
+	add("wsesim.model_cycles", float64(mach.ModelCycles()), "cycles", Lower, true)
+	add("wsesim.pes", float64(mach.NumPEs()), "PEs", Lower, true)
+	add("wsesim.worst_sram_bytes", float64(mach.WorstSRAM()), "B", Lower, true)
+	met := mach.TotalMeter()
+	runs := float64(p.MVMReps + 1) // timeOp's warm-up included
+	add("wsesim.executed_bytes_op", float64(met.Bytes())/runs, "B/op", Lower, true)
+	add("wsesim.executed_fmacs_op", float64(met.FMACs)/runs, "fmac/op", Lower, true)
+
+	// --- paper-scale machine model: deterministic Tables 2/5 metrics ---
+	if p.PaperScale {
+		if err := paperScaleMetrics(add); err != nil {
+			return nil, err
+		}
+	}
+
+	if stages, err := json.Marshal(obs.TakeSnapshot()); err == nil {
+		r.Stages = stages
+	}
+	return r, nil
+}
+
+// paperScaleMetrics evaluates the calibrated rank distributions on the
+// CS-2 machine model — the cycle counts and aggregate bandwidths of
+// Tables 2 and 5 plus the §7.6 power figure. All outputs are
+// deterministic and therefore gate.
+func paperScaleMetrics(add func(name string, value float64, unit, direction string, gate bool)) error {
+	d70, err := ranks.New(ranks.Config{NB: 70, Acc: 1e-4})
+	if err != nil {
+		return fmt.Errorf("benchreport: calibrating nb=70: %w", err)
+	}
+	arch := cs2.DefaultArch()
+	m2, err := wse.Plan{
+		Dist: d70, Arch: arch, StackWidth: 23, Systems: 6, Strategy: wse.Strategy1,
+	}.Evaluate()
+	if err != nil {
+		return fmt.Errorf("benchreport: Table 2 plan: %w", err)
+	}
+	add("cs2.table2.worst_cycles", float64(m2.WorstCycles), "cycles", Lower, true)
+	add("cs2.table2.relative_bytes", float64(m2.RelativeBytes), "B", Lower, true)
+	add("cs2.table2.absolute_bytes", float64(m2.AbsoluteBytes), "B", Lower, true)
+
+	m5, err := wse.Plan{
+		Dist: d70, Arch: arch, StackWidth: 23, Systems: 48, Strategy: wse.Strategy2,
+	}.Evaluate()
+	if err != nil {
+		return fmt.Errorf("benchreport: Table 5 plan: %w", err)
+	}
+	add("cs2.table5.rel_pbps", m5.RelativeBW/1e15, "PB/s", Higher, true)
+	add("cs2.table5.abs_pbps", m5.AbsoluteBW/1e15, "PB/s", Higher, true)
+	add("cs2.table5.pflops", m5.FlopRate/1e15, "PFlop/s", Higher, true)
+
+	d25, err := ranks.New(ranks.Config{NB: 25, Acc: 1e-4})
+	if err != nil {
+		return fmt.Errorf("benchreport: calibrating nb=25: %w", err)
+	}
+	plan := wse.Plan{
+		Dist: d25, Arch: arch, StackWidth: 64, Systems: 6, Strategy: wse.Strategy1,
+	}
+	m1, err := plan.Evaluate()
+	if err != nil {
+		return fmt.Errorf("benchreport: power plan: %w", err)
+	}
+	add("cs2.table1.occupancy_pct", m1.Occupancy*100, "%", Higher, true)
+	pw := plan.Power(m1)
+	add("cs2.power.gflops_per_watt", pw.GFlopsPerWatt, "GFlop/s/W", Higher, true)
+	return nil
+}

@@ -9,9 +9,19 @@ package cgls
 import (
 	"errors"
 	"math"
+	"time"
 
 	"repro/internal/cfloat"
 	"repro/internal/lsqr"
+	"repro/internal/obs"
+)
+
+// Solver metrics, mirroring the lsqr ones so the two MDD solvers report
+// through the same vocabulary.
+var (
+	obsSolve = obs.NewTimer("cgls.solve")
+	obsIter  = obs.NewTimer("cgls.iter")
+	obsIters = obs.NewCounter("cgls.iters")
 )
 
 // Options mirrors the LSQR options where applicable.
@@ -31,11 +41,15 @@ type Result struct {
 	ResidualNorm    float64
 	NormalResidual  float64
 	ResidualHistory []float64
-	Converged       bool
+	// IterTimes holds the wall time of each iteration, aligned with
+	// ResidualHistory; collected only while obs.Enabled().
+	IterTimes []time.Duration
+	Converged bool
 }
 
 // Solve runs CGLS on the operator (reusing the lsqr.Operator interface).
 func Solve(a lsqr.Operator, b []complex64, opts Options) (*Result, error) {
+	defer obsSolve.Start().End()
 	m, n := a.Rows(), a.Cols()
 	if len(b) != m {
 		return nil, errors.New("cgls: rhs length mismatch")
@@ -63,12 +77,14 @@ func Solve(a lsqr.Operator, b []complex64, opts Options) (*Result, error) {
 	q := make([]complex64, m)
 	res := &Result{X: x}
 	for it := 0; it < opts.MaxIters; it++ {
+		iterSpan := obsIter.Start()
 		a.Apply(p, q)
 		den := real2(cfloat.Dotc(q, q))
 		if opts.Damp > 0 {
 			den += float64(real(damp2)) * real2(cfloat.Dotc(p, p))
 		}
 		if den == 0 {
+			iterSpan.End()
 			break
 		}
 		alpha := complex(float32(gamma/den), 0)
@@ -85,6 +101,10 @@ func Solve(a lsqr.Operator, b []complex64, opts Options) (*Result, error) {
 		res.ResidualNorm = cfloat.Nrm2(r)
 		res.NormalResidual = sqrt(gammaNew)
 		res.ResidualHistory = append(res.ResidualHistory, res.ResidualNorm)
+		obsIters.Add(1)
+		if d := iterSpan.End(); d > 0 {
+			res.IterTimes = append(res.IterTimes, d)
+		}
 		if gammaNew <= opts.Tol*opts.Tol*gamma0 {
 			res.Converged = true
 			break

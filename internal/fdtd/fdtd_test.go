@@ -278,9 +278,7 @@ func BenchmarkStep200x150(b *testing.B) {
 		return
 	}
 	b.SetBytes(int64(c.Grid.NX * c.Grid.NZ * 8 * 3))
-	res, err := Run(c)
-	if err != nil {
+	if _, err := Run(c); err != nil {
 		b.Fatal(err)
 	}
-	_ = res
 }

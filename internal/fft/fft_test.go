@@ -155,10 +155,12 @@ func TestForward64Consistency(t *testing.T) {
 	n := 50
 	x64 := make([]complex64, n)
 	x128 := make([]complex128, n)
+	orig := make([]complex64, n)
 	for i := range x64 {
 		v := complex(rng.NormFloat64(), rng.NormFloat64())
 		x64[i] = complex64(v)
 		x128[i] = complex128(complex64(v))
+		orig[i] = complex64(v)
 	}
 	p := NewPlan(n)
 	p.Forward64(x64)
@@ -171,8 +173,9 @@ func TestForward64Consistency(t *testing.T) {
 	p.Inverse64(x64)
 	// round trip within float32 tolerance
 	for i := range x64 {
-		orig := complex64(x128[i])
-		_ = orig
+		if cmplx.Abs(complex128(x64[i]-orig[i])) > 1e-4*(1+cmplx.Abs(complex128(orig[i]))) {
+			t.Fatalf("round trip drift at %d: got %v want %v", i, x64[i], orig[i])
+		}
 	}
 }
 

@@ -8,8 +8,18 @@ package lsqr
 import (
 	"errors"
 	"math"
+	"time"
 
 	"repro/internal/cfloat"
+	"repro/internal/obs"
+)
+
+// Solver metrics: whole-solve and per-iteration timers (the iteration
+// timer's max is the worst Krylov step) plus a total iteration counter.
+var (
+	obsSolve = obs.NewTimer("lsqr.solve")
+	obsIter  = obs.NewTimer("lsqr.iter")
+	obsIters = obs.NewCounter("lsqr.iters")
 )
 
 // Operator is a complex linear map A: ℂⁿ → ℂᵐ accessed matrix-free.
@@ -47,6 +57,10 @@ type Result struct {
 	ResidualNorm float64
 	// ResidualHistory holds ‖r‖ after each iteration.
 	ResidualHistory []float64
+	// IterTimes holds the wall time of each iteration, aligned with
+	// ResidualHistory. Only collected while obs.Enabled() — nil otherwise
+	// so the steady-state solve stays free of clock reads.
+	IterTimes []time.Duration
 	// Converged reports whether a stopping tolerance was met before
 	// MaxIters.
 	Converged bool
@@ -57,6 +71,7 @@ var ErrZeroRHS = errors.New("lsqr: right-hand side is zero")
 
 // Solve runs LSQR on A x ≈ b.
 func Solve(a Operator, b []complex64, opts Options) (*Result, error) {
+	defer obsSolve.Start().End()
 	m, n := a.Rows(), a.Cols()
 	if len(b) != m {
 		return nil, errors.New("lsqr: rhs length mismatch")
@@ -100,6 +115,7 @@ func Solve(a Operator, b []complex64, opts Options) (*Result, error) {
 	tmpN := make([]complex64, n)
 
 	for it := 0; it < opts.MaxIters; it++ {
+		iterSpan := obsIter.Start()
 		// bidiagonalization: beta*u = A v − alpha*u
 		a.Apply(v, tmpM)
 		for i := range u {
@@ -121,15 +137,12 @@ func Solve(a Operator, b []complex64, opts Options) (*Result, error) {
 			rescale(v, 1/alpha)
 		}
 
-		// eliminate damping
+		// eliminate damping: rotate (rhoBar, damp) onto rhoBar1 and carry
+		// the cosine into phiBar (the sine only feeds the unused ‖x‖ bound)
 		rhoBar1 := rhoBar
-		var cs1, sn1 float64 = 1, 0
 		if damp > 0 {
 			rhoBar1 = math.Hypot(rhoBar, damp)
-			cs1 = rhoBar / rhoBar1
-			sn1 = damp / rhoBar1
-			phiBar = cs1 * phiBar
-			_ = sn1
+			phiBar = (rhoBar / rhoBar1) * phiBar
 		}
 
 		// Givens rotation to eliminate the subdiagonal beta
@@ -153,6 +166,10 @@ func Solve(a Operator, b []complex64, opts Options) (*Result, error) {
 		res.Iters = it + 1
 		res.ResidualNorm = phiBar
 		res.ResidualHistory = append(res.ResidualHistory, phiBar)
+		obsIters.Add(1)
+		if d := iterSpan.End(); d > 0 {
+			res.IterTimes = append(res.IterTimes, d)
+		}
 
 		// stopping tests (Paige–Saunders criteria 1 and 2)
 		if phiBar <= opts.BTol*bnorm+opts.ATol*anorm*cfloat.Nrm2(x) {

@@ -14,7 +14,20 @@ import (
 
 	"repro/internal/dense"
 	"repro/internal/fft"
+	"repro/internal/obs"
 	"repro/internal/tlr"
+)
+
+// MDC operator metrics: forward/adjoint timers for the frequency-domain
+// operator of MDD and stage timers for the time-domain Eqn. (2) pipeline
+// (S, K, Sᴴ).
+var (
+	obsFreqApply   = obs.NewTimer("mdc.freq.apply")
+	obsFreqAdjoint = obs.NewTimer("mdc.freq.adjoint")
+	obsTimeApply   = obs.NewTimer("mdc.time.apply")
+	obsTimeAdjoint = obs.NewTimer("mdc.time.adjoint")
+	obsCompressK   = obs.NewTimer("mdc.compress_kernel")
+	obsFreqCount   = obs.NewCounter("mdc.freq.mvms")
 )
 
 // Kernel is the per-frequency matrix stack K of Eqn. (2): NumFreqs
@@ -82,6 +95,7 @@ type TLRKernel struct {
 // CompressKernel TLR-compresses each frequency matrix of a dense kernel
 // with the given options — the paper's pre-processing step.
 func CompressKernel(k *DenseKernel, opts tlr.Options) (*TLRKernel, error) {
+	defer obsCompressK.Start().End()
 	out := make([]*tlr.Matrix, len(k.Mats))
 	for i, m := range k.Mats {
 		tm, err := tlr.Compress(m, opts)
@@ -146,7 +160,13 @@ func (op *FreqOperator) ApplyAdjoint(x, y []complex64) {
 }
 
 func (op *FreqOperator) run(x, y []complex64, adjoint bool) {
+	if adjoint {
+		defer obsFreqAdjoint.Start().End()
+	} else {
+		defer obsFreqApply.Start().End()
+	}
 	nf := op.K.NumFreqs()
+	obsFreqCount.Add(int64(nf))
 	nin, nout := op.K.Cols(), op.K.Rows()
 	if adjoint {
 		nin, nout = nout, nin
@@ -273,6 +293,11 @@ func (op *TimeOperator) SynthesizeTime(x, out []complex64, nchan int) {
 }
 
 func (op *TimeOperator) run(x, y []complex64, adjoint bool) {
+	if adjoint {
+		defer obsTimeAdjoint.Start().End()
+	} else {
+		defer obsTimeApply.Start().End()
+	}
 	if len(op.FreqIdx) != op.K.NumFreqs() {
 		panic("mdc: TimeOperator FreqIdx length mismatch")
 	}

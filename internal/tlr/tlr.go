@@ -112,6 +112,7 @@ func Compress(a *dense.Matrix, opts Options) (*Matrix, error) {
 	default:
 		return nil, fmt.Errorf("tlr: unknown compression method %d", opts.Method)
 	}
+	defer obsCompress.Start().End()
 	m, n, nb := a.Rows, a.Cols, opts.NB
 	mt := (m + nb - 1) / nb
 	nt := (n + nb - 1) / nb
@@ -297,6 +298,8 @@ func (t *Matrix) mulVec(x, y []complex64, workers int) {
 	if len(x) < t.N || len(y) < t.M {
 		panic("tlr: MulVec vector too short")
 	}
+	defer obsMVM.Start().End()
+	meterMVM(obsMVMMeter, t)
 	// Phase 1 (Fig. 5): V-batch. For each tile (i,j):
 	//   yv[i][j] = V_{ij}ᴴ · x_j        (length = rank of the tile)
 	yv := make([][]complex64, t.MT*t.NT)
@@ -309,7 +312,9 @@ func (t *Matrix) mulVec(x, y []complex64, workers int) {
 			yv[i*t.NT+j] = out
 		}
 	}
+	sp1 := obsPhase1.Start()
 	runIndexed(t.NT, workers, phase1)
+	sp1.End()
 	// Phase 2 (Fig. 6): shuffle. In this in-memory implementation the
 	// shuffle is the re-indexing of yv from column-major traversal to
 	// row-major consumption — made explicit on the CS-2 mapping where it
@@ -326,7 +331,9 @@ func (t *Matrix) mulVec(x, y []complex64, workers int) {
 				tile.U.Data, tile.U.Stride, yv[i*t.NT+j], 1, yi)
 		}
 	}
+	sp3 := obsPhase3.Start()
 	runIndexed(t.MT, workers, phase3)
+	sp3.End()
 }
 
 // MulVecConjTrans computes y = Aᴴ x: the adjoint TLR-MVM required by the
@@ -348,6 +355,8 @@ func (t *Matrix) mulVecConjTrans(x, y []complex64, workers int) {
 	if len(x) < t.M || len(y) < t.N {
 		panic("tlr: MulVecConjTrans vector too short")
 	}
+	defer obsAdjoint.Start().End()
+	meterMVM(obsAdjMeter, t)
 	// adjoint phase 1: yu[i][j] = U_{ij}ᴴ · x_i
 	yu := make([][]complex64, t.MT*t.NT)
 	p1 := func(i int) {

@@ -20,7 +20,21 @@ import (
 	"math"
 
 	"repro/internal/cs2"
+	"repro/internal/obs"
 	"repro/internal/ranks"
+)
+
+// Machine-model metrics (§6.5–§6.7): the cycle, traffic, and SRAM
+// quantities of the most recent Plan.Evaluate, published through the
+// shared obs registry under the cs2 namespace so they sit beside the
+// executed wsesim meters rather than only in the Metrics struct.
+var (
+	obsEvaluate    = obs.NewTimer("wse.evaluate")
+	obsWorstCycles = obs.NewGauge("cs2.worst_cycles")
+	obsRelBytes    = obs.NewGauge("cs2.relative_bytes")
+	obsAbsBytes    = obs.NewGauge("cs2.absolute_bytes")
+	obsPEsUsed     = obs.NewGauge("cs2.pes_used")
+	obsPerPESRAM   = obs.NewGauge("cs2.per_pe_matrix_bytes")
 )
 
 // Strategy selects the strong-scaling approach of §6.7.
@@ -87,6 +101,7 @@ type Metrics struct {
 
 // Evaluate computes the metrics of the plan.
 func (p Plan) Evaluate() (*Metrics, error) {
+	defer obsEvaluate.Start().End()
 	if p.Dist == nil {
 		return nil, fmt.Errorf("wse: nil distribution")
 	}
@@ -160,6 +175,13 @@ func (p Plan) Evaluate() (*Metrics, error) {
 	m.AbsoluteBW = p.Arch.Bandwidth(m.AbsoluteBytes, m.WorstCycles)
 	m.FlopRate = p.Arch.FlopRate(fmacs, m.WorstCycles)
 	m.TimeSeconds = p.Arch.Seconds(m.WorstCycles)
+	if obs.Enabled() {
+		obsWorstCycles.Set(m.WorstCycles)
+		obsRelBytes.Set(m.RelativeBytes)
+		obsAbsBytes.Set(m.AbsoluteBytes)
+		obsPEsUsed.Set(m.PEsUsed)
+		obsPerPESRAM.Set(int64(m.PerPEMatrixBytes))
+	}
 	return m, nil
 }
 

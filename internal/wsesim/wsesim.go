@@ -16,7 +16,21 @@ import (
 
 	"repro/internal/cfloat"
 	"repro/internal/cs2"
+	"repro/internal/obs"
 	"repro/internal/tlr"
+)
+
+// Simulator metrics: the per-PE access meters and the §6.5/§6.7 model
+// outputs, surfaced through the shared obs registry so bench tooling sees
+// them next to the host-side stage timers instead of digging through
+// Machine fields.
+var (
+	obsMulVec     = obs.NewTimer("wsesim.mulvec")
+	obsMeter      = obs.NewMeter("wsesim.mulvec")
+	obsPEs        = obs.NewGauge("wsesim.pes")
+	obsCycles     = obs.NewGauge("wsesim.model_cycles")
+	obsWorstSRAM  = obs.NewGauge("wsesim.worst_sram_bytes")
+	obsStackWidth = obs.NewGauge("wsesim.stack_width")
 )
 
 // Chunk is a stack-width slice of one tile column's stacked bases: rows
@@ -124,6 +138,12 @@ func Build(t *tlr.Matrix, sw int, arch cs2.Arch) (*Machine, error) {
 			}
 			m.PEs = append(m.PEs, pe)
 		}
+	}
+	if obs.Enabled() {
+		obsPEs.Set(int64(m.NumPEs()))
+		obsCycles.Set(m.ModelCycles())
+		obsWorstSRAM.Set(int64(m.WorstSRAM()))
+		obsStackWidth.Set(int64(sw))
 	}
 	return m, nil
 }
@@ -268,6 +288,18 @@ func (m *Machine) MulVec(x, y []complex64) {
 	if len(x) < t.N || len(y) < t.M {
 		panic("wsesim: MulVec vector too short")
 	}
+	defer obsMulVec.Start().End()
+	var before Meter
+	if obs.Enabled() {
+		before = m.TotalMeter()
+	}
+	defer func() {
+		if obs.Enabled() {
+			after := m.TotalMeter()
+			// a real fmac is 2 flops; traffic is the executed §6.6 bytes
+			obsMeter.Add(2*(after.FMACs-before.FMACs), after.Bytes()-before.Bytes())
+		}
+	}()
 	for i := 0; i < t.M; i++ {
 		y[i] = 0
 	}
