@@ -16,7 +16,7 @@ FUZZ_TARGETS = \
 
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz bench bench-json bench-compare lint vuln cover
+.PHONY: all build vet test race fuzz bench bench-json bench-compare lint repolint vuln cover
 
 all: vet build test
 
@@ -55,9 +55,17 @@ bench-compare: bench-json
 
 # ---- static analysis / vulnerability scan (mirrors CI lint/vuln jobs) ----
 # staticcheck and govulncheck are fetched by CI; locally they are used
-# only if already on PATH.
+# only if already on PATH. repolint is this repo's own analyzer suite
+# (TESTING.md, "Static analysis suite") and needs no network: it runs
+# once under `go vet -vettool` (per-package analyzers) and once
+# standalone (whole-module analyzers such as oraclereg).
 
-lint: vet
+repolint:
+	$(GO) build -o bin/repolint ./cmd/repolint
+
+lint: vet repolint
+	$(GO) vet -vettool=$(CURDIR)/bin/repolint ./...
+	./bin/repolint ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

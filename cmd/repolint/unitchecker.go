@@ -1,0 +1,167 @@
+package main
+
+// The `go vet -vettool` protocol, implemented on the standard library.
+//
+// cmd/go invokes the vettool once per package with a single argument, a
+// JSON "vet config" file describing the package's sources and the
+// export-data files of its dependencies, and expects:
+//
+//   - diagnostics on stderr as file:line:col: message, exit 2 when any;
+//   - an (analysis-facts) output file written to VetxOutput — we carry
+//     no cross-package facts, so ours is an empty placeholder;
+//   - exit 0 and facts only when VetxOnly is set (dependency visits).
+//
+// Type-checking uses go/importer's gc importer fed by the PackageFile
+// map, the same export data the compiler produced — so vettool runs are
+// fast and agree exactly with the build.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig mirrors the fields cmd/go writes into vet.cfg (a superset is
+// tolerated; unknown fields are ignored by encoding/json).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnitchecker(analyzers []*analysis.Analyzer, cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: reading vet config: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: parsing vet config %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// Always produce the facts file first: go vet requires it to exist
+	// even when the analysis finds problems or is facts-only.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("repolint-no-facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "repolint: writing facts: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	imp := newVetImporter(fset, &cfg)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	tconf := types.Config{Importer: imp}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "repolint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	pkg := &analysis.Package{Path: cfg.ImportPath, Dir: cfg.Dir, Files: files, Types: tpkg, Info: info}
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		if a.NeedsModule {
+			continue // needs the whole module; standalone mode covers it
+		}
+		pass := analysis.NewPass(a, fset, pkg, nil, &diags)
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "repolint: %s on %s: %v\n", a.Name, cfg.ImportPath, err)
+			return 2
+		}
+	}
+	analysis.SortDiagnostics(fset, diags)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// newVetImporter builds an importer that resolves import paths through
+// the vet config's ImportMap and reads dependency types from the
+// compiler export data in PackageFile.
+func newVetImporter(fset *token.FileSet, cfg *vetConfig) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q in vet config", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	gc := importer.ForCompiler(fset, compiler, lookup)
+	return &mappedImporter{m: cfg.ImportMap, under: gc}
+}
+
+type mappedImporter struct {
+	m     map[string]string
+	under types.Importer
+}
+
+func (mi *mappedImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if canon, ok := mi.m[path]; ok {
+		path = canon
+	}
+	// Strip any test-variant decoration cmd/go may carry in the map.
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return mi.under.Import(path)
+}

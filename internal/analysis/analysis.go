@@ -1,0 +1,305 @@
+// Package analysis is the repo's domain-invariant static analysis suite:
+// a small, dependency-free framework in the shape of golang.org/x/tools'
+// go/analysis, plus five analyzers that turn this repo's correctness
+// conventions into compiler-checked rules. The conventions exist because
+// the continuous-benchmarking gate (internal/benchreport) and the
+// §6.5–§6.7 cycle/meter invariants treat the machine-model outputs as
+// exact: nondeterminism in a model package, a silently widened kernel
+// accumulator, or an execution path that never reaches the differential
+// oracle all break guarantees the test suite is built on.
+//
+// The five analyzers (see their files for the precise rules):
+//
+//   - modeldeterminism: no wall-clock, global rand, env reads, or
+//     map-iteration-order-dependent accumulation in the deterministic
+//     model packages (internal/cs2, internal/wse, internal/wsesim,
+//     internal/roofline).
+//   - obshygiene: obs metric registration only at package-level var
+//     scope with constant names; every Timer.Start span must End.
+//   - precwiden: no silent float32→float64 / complex64→complex128
+//     widening inside kernel hot loops (escape: //lint:widen-ok).
+//   - oraclereg: every exported MulVec-shaped kernel entry point must be
+//     referenced from the internal/testkit differential oracle
+//     (escape: //lint:oracle-exempt).
+//   - seededrand: test/bench/testkit RNGs must be explicitly and
+//     deterministically seeded.
+//
+// cmd/repolint drives the suite both standalone (whole-module, source
+// type-checked) and as a `go vet -vettool` unitchecker. The framework is
+// stdlib-only on purpose: the module has no third-party dependencies and
+// the analyzers need nothing x/tools-specific.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned inside a loaded file set.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Analyzer is one checker. Run inspects a single type-checked package
+// and reports findings through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// NeedsModule marks analyzers that require whole-module context
+	// (Pass.Module non-nil). They are skipped by drivers that only see
+	// one package at a time, such as the `go vet -vettool` unitchecker.
+	NeedsModule bool
+
+	// TestFiles marks analyzers whose rules apply to _test.go files.
+	// All analyzers receive whatever files the driver loaded and are
+	// responsible for their own file filtering; this flag lets drivers
+	// know the analyzer is worth running on test-augmented packages.
+	TestFiles bool
+
+	Run func(*Pass) error
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Path is the package's import path as the driver knows it. Drivers
+	// should normalize away test-variant decorations ("pkg [pkg.test]").
+	Path string
+
+	// Module is the whole-module context, nil when the driver analyzes
+	// packages in isolation (vettool mode).
+	Module *Module
+
+	diags *[]Diagnostic
+}
+
+// NewPass assembles a Pass that appends its findings to sink.
+func NewPass(a *Analyzer, fset *token.FileSet, pkg *Package, module *Module, sink *[]Diagnostic) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Path:      pkg.Path,
+		Module:    module,
+		diags:     sink,
+	}
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// All returns the full suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ModelDeterminism,
+		ObsHygiene,
+		PrecWiden,
+		OracleReg,
+		SeededRand,
+	}
+}
+
+// ByName resolves a comma-separated analyzer name list ("" = all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", n, analyzerNames())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func analyzerNames() string {
+	var ns []string
+	for _, a := range All() {
+		ns = append(ns, a.Name)
+	}
+	return strings.Join(ns, ", ")
+}
+
+// SortDiagnostics orders diags by file position for stable output.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}
+
+// pathMatches reports whether the import path is, or ends with a
+// "/"-delimited occurrence of, one of the given suffixes. Matching by
+// suffix keeps the analyzers testable against fixture modules
+// ("fixture/internal/cs2") while targeting the real tree
+// ("repro/internal/cs2").
+func pathMatches(path string, suffixes ...string) bool {
+	path = normalizePath(path)
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// normalizePath strips go vet test-variant decorations such as
+// "repro/internal/tlr [repro/internal/tlr.test]" and the "_test"
+// external-test suffix.
+func normalizePath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, "_test")
+}
+
+// calleeFunc resolves the called function object of a call expression,
+// looking through selector and plain-identifier call forms. It returns
+// nil for builtins, type conversions, and calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcPkgPath returns the import path of the package a *types.Func
+// belongs to ("" for builtins/universe).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// markerLines collects, per line, whether a "//lint:<marker>" comment
+// appears anywhere in the file. Suppressions apply to the marker's own
+// line and the line directly below it, so both trailing and preceding
+// comment placement work.
+func markerLines(fset *token.FileSet, file *ast.File, marker string) map[int]bool {
+	lines := map[int]bool{}
+	needle := "lint:" + marker
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, needle) {
+				line := fset.Position(c.Pos()).Line
+				lines[line] = true
+				lines[line+1] = true
+			}
+		}
+	}
+	return lines
+}
+
+// docHasMarker reports whether a declaration's doc comment carries the
+// given //lint: marker, exempting the whole declaration. The raw
+// comment list is scanned because CommentGroup.Text strips
+// directive-style "//lint:..." lines.
+func docHasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	needle := "lint:" + marker
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, needle) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkStack traverses the file calling fn with each node and the stack
+// of its ancestors (outermost first, not including the node itself).
+func walkStack(file *ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingFuncBody returns the body of the innermost function literal
+// or declaration on the stack, or nil at package scope.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// inFunction reports whether the stack crosses any function body.
+func inFunction(stack []ast.Node) bool {
+	return enclosingFuncBody(stack) != nil
+}
+
+// loopDepth counts for/range statements on the stack that are inside
+// the innermost enclosing function (loops in an outer function do not
+// make a closure body "hot").
+func loopDepth(stack []ast.Node) int {
+	depth := 0
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			depth++
+		case *ast.FuncDecl, *ast.FuncLit:
+			return depth
+		}
+	}
+	return depth
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestModelDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata/modeldeterminism", analysis.ModelDeterminism)
+}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// obsConstructors are the metric-registration entry points of the
+// internal/obs layer. Registration takes the registry lock and is meant
+// for package-level var initialization only (see the obs package doc);
+// names must be compile-time constants so the metric namespace is
+// auditable and collision-free.
+var obsConstructors = map[string]string{
+	"NewCounter": "counter",
+	"NewTimer":   "timer",
+	"NewMeter":   "meter",
+	"NewGauge":   "gauge",
+}
+
+// ObsHygiene enforces the observability layer's usage contract:
+// constant metric names, package-level registration only, no duplicate
+// registrations of the same kind+name inside a package, and no
+// Timer.Start span that can never End.
+var ObsHygiene = &Analyzer{
+	Name: "obshygiene",
+	Doc: "require constant obs metric names registered at package var scope, " +
+		"no duplicate registrations, and an End for every Timer.Start span",
+	Run: runObsHygiene,
+}
+
+func runObsHygiene(pass *Pass) error {
+	if pathMatches(pass.Path, "internal/obs") {
+		return nil // the registry implementation itself is exempt
+	}
+	seen := map[string]bool{} // kind+name → already registered in this package
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		walkStack(file, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if kind, ok := obsConstructorKind(pass.TypesInfo, call); ok {
+				checkObsRegistration(pass, call, kind, stack, seen)
+			}
+			if isObsTimerStart(pass.TypesInfo, call) {
+				checkSpanEnded(pass, call, stack)
+			}
+		})
+	}
+	return nil
+}
+
+func obsConstructorKind(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || !pathMatches(fn.Pkg().Path(), "internal/obs") {
+		return "", false
+	}
+	kind, ok := obsConstructors[fn.Name()]
+	return kind, ok
+}
+
+func checkObsRegistration(pass *Pass, call *ast.CallExpr, kind string, stack []ast.Node, seen map[string]bool) {
+	if inFunction(stack) {
+		pass.Reportf(call.Pos(), "obs.%s must run at package-level var initialization, not inside a function (registration locks the registry and is too heavy for hot paths)", constructorName(kind))
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(call.Args[0].Pos(), "obs metric name must be a constant string, not computed at runtime (dynamic names defeat the dot-path naming audit)")
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	key := kind + " " + name
+	if seen[key] {
+		pass.Reportf(call.Args[0].Pos(), "duplicate registration of %s %q in this package; reuse the existing package-level var", kind, name)
+	}
+	seen[key] = true
+}
+
+func constructorName(kind string) string {
+	for fn, k := range obsConstructors {
+		if k == kind {
+			return fn
+		}
+	}
+	return kind
+}
+
+// isObsTimerStart matches calls of (*obs.Timer).Start.
+func isObsTimerStart(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Start" {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	named := namedOf(recv.Type())
+	return named != nil && named.Obj().Name() == "Timer" &&
+		named.Obj().Pkg() != nil && pathMatches(named.Obj().Pkg().Path(), "internal/obs")
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// checkSpanEnded flags Timer.Start spans that demonstrably never End:
+// the span is dropped on the floor (expression statement or blank
+// assignment), or bound to a variable that has no .End() call anywhere
+// in the enclosing function. Spans that escape (returned, passed as an
+// argument, stored in a struct) are assumed handled by the receiver.
+func checkSpanEnded(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	if len(stack) == 0 {
+		return
+	}
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "Timer.Start span is dropped; call End (or defer t.Start().End()) or the stage never records")
+	case *ast.SelectorExpr:
+		// t.Start().End() or t.Start().<something>: chained, fine.
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if ast.Unparen(rhs) != call || i >= len(p.Lhs) {
+				continue
+			}
+			id, ok := p.Lhs[i].(*ast.Ident)
+			if !ok {
+				return
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "Timer.Start span is discarded into _; the stage never records")
+				return
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			body := enclosingFuncBody(stack)
+			if obj == nil || body == nil {
+				return
+			}
+			if !hasEndCall(pass, body, obj) {
+				pass.Reportf(call.Pos(), "span %s from Timer.Start has no reachable End() in this function; the stage never records", id.Name)
+			}
+		}
+	}
+}
+
+// hasEndCall reports whether body contains a call obj.End(...).
+func hasEndCall(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

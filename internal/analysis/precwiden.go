@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// kernelPkgSuffixes are the fp32/fp16 kernel packages whose hot loops
+// the paper's precision claims (§6.4, Fig. 10) are about. Widening a
+// loop-carried value to float64/complex128 changes both the numerics
+// and the modelled memory traffic, so it must be a visible, annotated
+// decision — never an accident.
+var kernelPkgSuffixes = []string{
+	"internal/tlr",
+	"internal/batch",
+	"internal/cfloat",
+	"internal/precision",
+}
+
+// PrecWiden flags float32→float64 and complex64→complex128 conversions
+// inside for/range loops of the kernel packages. Intentional widened
+// accumulators are suppressed with //lint:widen-ok — on the conversion's
+// line, the line above it, or the enclosing function's doc comment (for
+// functions whose whole point is float64 accumulation, e.g. the cfloat
+// dot products).
+var PrecWiden = &Analyzer{
+	Name: "precwiden",
+	Doc: "flag silent float32→float64 / complex64→complex128 widening in kernel " +
+		"hot loops; annotate intentional accumulators with //lint:widen-ok",
+	Run: runPrecWiden,
+}
+
+func runPrecWiden(pass *Pass) error {
+	if !pathMatches(pass.Path, kernelPkgSuffixes...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		okLines := markerLines(pass.Fset, file, "widen-ok")
+		walkStack(file, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return
+			}
+			from, to, isWiden := wideningConversion(pass.TypesInfo, call)
+			if !isWiden || loopDepth(stack) == 0 {
+				return
+			}
+			if okLines[pass.Fset.Position(call.Pos()).Line] {
+				return
+			}
+			if fd := enclosingFuncDecl(stack); fd != nil && docHasMarker(fd.Doc, "widen-ok") {
+				return
+			}
+			pass.Reportf(call.Pos(), "silent %s→%s widening in a kernel hot loop changes numerics and modelled traffic; annotate //lint:widen-ok if the accumulation is intentional", from, to)
+		})
+	}
+	return nil
+}
+
+// wideningConversion reports whether call is a conversion whose target
+// is float64/complex128 and whose operand is float32/complex64.
+func wideningConversion(info *types.Info, call *ast.CallExpr) (from, to string, ok bool) {
+	ftv, okf := info.Types[call.Fun]
+	if !okf || !ftv.IsType() {
+		return "", "", false
+	}
+	dst, okd := ftv.Type.Underlying().(*types.Basic)
+	if !okd {
+		return "", "", false
+	}
+	atv, oka := info.Types[call.Args[0]]
+	if !oka || atv.Type == nil {
+		return "", "", false
+	}
+	src, oks := atv.Type.Underlying().(*types.Basic)
+	if !oks {
+		return "", "", false
+	}
+	switch {
+	case dst.Kind() == types.Float64 && src.Kind() == types.Float32:
+		return "float32", "float64", true
+	case dst.Kind() == types.Complex128 && src.Kind() == types.Complex64:
+		return "complex64", "complex128", true
+	}
+	return "", "", false
+}
+
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SeededRand keeps randomness in the correctness infrastructure
+// reproducible: inside internal/testkit and any _test.go file
+// (benchmarks and fuzz seed corpus construction included), RNGs must be
+// explicitly and deterministically seeded. Global math/rand draws (the
+// shared source) and time-derived seeds both make a failing trial
+// unreproducible, which defeats the differential oracle's purpose.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "require explicit deterministic seeds for RNGs in internal/testkit, " +
+		"benchmarks, and fuzz seeds (no global math/rand, no time-derived seeds)",
+	TestFiles: true,
+	Run:       runSeededRand,
+}
+
+// randConstructors are the generator-construction entry points whose
+// seed arguments must be deterministic.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, // math/rand
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func runSeededRand(pass *Pass) error {
+	inTestkit := pathMatches(pass.Path, "internal/testkit")
+	// rand.New(rand.NewSource(bad)) nests two constructors around one
+	// seed expression; report each offending node once.
+	reported := map[token.Pos]bool{}
+	for _, file := range pass.Files {
+		if !inTestkit && !pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			if isGlobalRand(fn) {
+				pass.Reportf(call.Pos(), "global %s.%s uses the shared unseeded source; construct rand.New(rand.NewSource(seed)) with an explicit seed so failures reproduce", funcPkgPath(fn), fn.Name())
+				return true
+			}
+			p := funcPkgPath(fn)
+			if (p == "math/rand" || p == "math/rand/v2") && randConstructors[fn.Name()] {
+				for _, arg := range call.Args {
+					if node, src := findNondetSeed(pass.TypesInfo, arg); node != nil && !reported[node.Pos()] {
+						reported[node.Pos()] = true
+						pass.Reportf(node.Pos(), "RNG seeded from %s is different every run; use a fixed seed so failures reproduce", src)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findNondetSeed looks through a seed expression for wall-clock or
+// crypto-entropy sources and returns the offending node and its name.
+func findNondetSeed(info *types.Info, arg ast.Expr) (ast.Node, string) {
+	var node ast.Node
+	var what string
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if node != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		switch funcPkgPath(fn) + "." + fn.Name() {
+		case "time.Now":
+			node, what = call, "time.Now"
+		case "crypto/rand.Read", "crypto/rand.Int":
+			node, what = call, "crypto/rand"
+		case "os.Getpid":
+			node, what = call, "os.Getpid"
+		}
+		if node == nil && recvIsTimeTime(fn) {
+			switch fn.Name() {
+			case "UnixNano", "Unix", "UnixMicro", "UnixMilli", "Nanosecond":
+				node, what = call, "a wall-clock timestamp"
+			}
+		}
+		return node == nil
+	})
+	return node, what
+}
+
+func recvIsTimeTime(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedOf(sig.Recv().Type())
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "time" && named.Obj().Name() == "Time"
+}

@@ -1,0 +1,18 @@
+// Package notmodel exercises the same constructs outside the model
+// package set; nothing here may be flagged.
+package notmodel
+
+import (
+	"os"
+	"time"
+)
+
+func WallClockIsFineHere(costs map[int]float64) float64 {
+	t := time.Now()
+	_ = os.Getenv("HOME")
+	var total float64
+	for _, c := range costs {
+		total += c
+	}
+	return total + time.Since(t).Seconds()
+}

@@ -1,0 +1,30 @@
+// Package obs is a minimal stand-in for the real observability layer
+// (path suffix internal/obs): just enough surface for the obshygiene
+// fixtures to type-check. The analyzer skips this package itself.
+package obs
+
+import "time"
+
+type Counter struct{ name string }
+
+func (c *Counter) Add(n int64) {}
+
+type Timer struct{ name string }
+
+type Span struct {
+	t  *Timer
+	t0 time.Time
+}
+
+func (t *Timer) Start() Span          { return Span{t: t, t0: time.Now()} }
+func (s Span) End() time.Duration     { return time.Since(s.t0) }
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+func NewTimer(name string) *Timer     { return &Timer{name: name} }
+
+type Meter struct{ name string }
+
+func NewMeter(name string) *Meter { return &Meter{name: name} }
+
+type Gauge struct{ name string }
+
+func NewGauge(name string) *Gauge { return &Gauge{name: name} }

@@ -1,0 +1,77 @@
+// Package use exercises the obs usage contract.
+package use
+
+import (
+	"fmt"
+
+	"fixture/internal/obs"
+)
+
+const stageName = "stage.const"
+
+// Clean registrations: package-level vars with constant names.
+var (
+	cGood = obs.NewCounter("use.ops")
+	tGood = obs.NewTimer(stageName)
+	mGood = obs.NewMeter("use." + "concat") // constant-folded is still constant
+	gGood = obs.NewGauge("use.level")
+)
+
+// Duplicate kind+name in the same package.
+var tDup = obs.NewTimer(stageName) // want `duplicate registration of timer "stage.const"`
+
+// Same name across different kinds is the timer/meter pairing idiom.
+var mPair = obs.NewMeter(stageName)
+
+func dynamicName(i int) string { return fmt.Sprintf("use.%d", i) }
+
+// Dynamic name at package scope: still not constant.
+var cDyn = obs.NewCounter(dynamicName(1)) // want `metric name must be a constant string`
+
+// Registration inside functions and loops.
+func hot(n int) {
+	c := obs.NewCounter("use.hot") // want `must run at package-level var initialization`
+	for i := 0; i < n; i++ {
+		t := obs.NewTimer(dynamicName(i)) // want `must run at package-level var initialization` `metric name must be a constant string`
+		_ = t
+	}
+	c.Add(1)
+}
+
+// Span lifecycle.
+func spanDropped() {
+	tGood.Start() // want `span is dropped`
+}
+
+func spanBlank() {
+	_ = tGood.Start() // want `span is discarded into _`
+}
+
+func spanNeverEnded(cond bool) {
+	sp := tGood.Start() // want `span sp from Timer.Start has no reachable End`
+	if cond {
+		_ = sp
+	}
+}
+
+func spanChained() {
+	defer tGood.Start().End()
+}
+
+func spanEnded() {
+	sp := tGood.Start()
+	defer sp.End()
+}
+
+func spanEndedLater(work func()) {
+	sp := tGood.Start()
+	work()
+	sp.End()
+}
+
+// Spans that escape are assumed handled by the receiver.
+func spanEscapes() obs.Span {
+	return tGood.Start()
+}
+
+var _ = []interface{}{cGood, mGood, gGood, tDup, mPair, cDyn}

@@ -1,0 +1,49 @@
+// Package tlr is a fixture kernel package (path suffix internal/tlr)
+// with a mix of registered, unregistered, and exempt entry points.
+package tlr
+
+import "errors"
+
+type Matrix struct {
+	n int
+}
+
+// MulVec is referenced from internal/testkit: registered, clean.
+func (m *Matrix) MulVec(x, y []complex64) error {
+	if len(x) != m.n || len(y) != m.n {
+		return errors.New("tlr: dimension mismatch")
+	}
+	for i := range y {
+		y[i] = x[i]
+	}
+	return nil
+}
+
+// MulVecFast is kernel-shaped but nothing in testkit references it.
+func (m *Matrix) MulVecFast(x, y []complex64) error { // want `exported kernel entry point Matrix\.MulVecFast is not referenced`
+	return m.MulVec(x, y)
+}
+
+// MulVecDebug is deliberately outside the oracle: debugging aid only.
+//
+//lint:oracle-exempt debug path, not a production kernel
+func (m *Matrix) MulVecDebug(x, y []complex64) error {
+	return m.MulVec(x, y)
+}
+
+// mulVecInner is unexported: not an entry point.
+func (m *Matrix) mulVecInner(x, y []complex64) error {
+	return m.MulVec(x, y)
+}
+
+// Rank is not kernel-shaped (no complex64 slice pair): ignored.
+func (m *Matrix) Rank() int { return m.n }
+
+// Scale has only one []complex64 parameter: ignored.
+func (m *Matrix) Scale(alpha complex64, x []complex64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+var _ = (*Matrix)(nil).mulVecInner

@@ -1,0 +1,62 @@
+// Package tlr is a fixture standing in for a kernel package (path
+// suffix internal/tlr).
+package tlr
+
+// Silent widening inside hot loops is flagged.
+func DotBad(x, y []float32) float64 {
+	var s float64
+	for i := range x {
+		s += float64(x[i]) * float64(y[i]) // want `silent float32→float64 widening` `silent float32→float64 widening`
+	}
+	return s
+}
+
+func SumBad(z []complex64) complex128 {
+	var s complex128
+	for _, v := range z {
+		s += complex128(v) // want `silent complex64→complex128 widening`
+	}
+	return s
+}
+
+// Line-level suppression: same line.
+func DotOKSameLine(x []float32) float64 {
+	var s float64
+	for i := range x {
+		s += float64(x[i]) //lint:widen-ok deliberate float64 accumulator
+	}
+	return s
+}
+
+// Line-level suppression: the line above.
+func DotOKLineAbove(x []float32) float64 {
+	var s float64
+	for i := range x {
+		//lint:widen-ok deliberate float64 accumulator
+		s += float64(x[i])
+	}
+	return s
+}
+
+// DocOK accumulates in float64 throughout; the function-doc marker
+// exempts the whole body.
+//
+//lint:widen-ok this function is a deliberate float64 accumulator
+func DocOK(x, y []float32) float64 {
+	var s float64
+	for i := range x {
+		s += float64(x[i]) * float64(y[i])
+	}
+	return s
+}
+
+// Outside a loop, widening is not "hot" and is not flagged.
+func Head(x []float32) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return float64(x[0])
+}
+
+// Narrowing back down is never flagged.
+func Narrow(v float64) float32 { return float32(v) }

@@ -1,0 +1,11 @@
+// Package notkernel widens in loops outside the kernel package set;
+// nothing here may be flagged.
+package notkernel
+
+func Mean(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v)
+	}
+	return s / float64(len(x))
+}

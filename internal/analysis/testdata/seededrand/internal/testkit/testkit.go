@@ -1,0 +1,32 @@
+// Package testkit is a fixture for the seededrand scope rule: RNG
+// hygiene applies to every file in internal/testkit, tests or not.
+package testkit
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Good: explicit deterministic seed.
+func DeterministicNoise(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(rng.NormFloat64())
+	}
+	return out
+}
+
+// Bad: the shared global source cannot be reseeded per-trial.
+func GlobalNoise(n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = rand.Float32() // want `global math/rand\.Float32 uses the shared unseeded source`
+	}
+	return out
+}
+
+// Bad: wall-clock seed differs every run.
+func FreshRNG() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `RNG seeded from a wall-clock timestamp is different every run`
+}

@@ -1,0 +1,15 @@
+// Package pkg is ordinary (non-testkit) library code; the seededrand
+// rules do not apply to its regular files.
+package pkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter is production code outside the correctness infrastructure;
+// global rand and wall-clock seeds are allowed here.
+func Jitter() float64 {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	return rng.Float64() + rand.Float64()
+}

@@ -1,0 +1,30 @@
+package pkg
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Good: fixed seed makes the trial reproducible.
+func TestJitterSeeded(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	if v := rng.Float64(); v < 0 || v >= 1 {
+		t.Fatalf("out of range: %v", v)
+	}
+}
+
+// Bad: global source in a test.
+func TestJitterGlobal(t *testing.T) {
+	if v := rand.Float64(); v < 0 || v >= 1 { // want `global math/rand\.Float64 uses the shared unseeded source`
+		t.Fatalf("out of range: %v", v)
+	}
+}
+
+// Bad: time-derived seed in a benchmark.
+func BenchmarkJitter(b *testing.B) {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano())) // want `RNG seeded from a wall-clock timestamp is different every run`
+	for i := 0; i < b.N; i++ {
+		_ = rng.Float64()
+	}
+}

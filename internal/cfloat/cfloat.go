@@ -54,6 +54,8 @@ func Scal(alpha complex64, x []complex64) {
 }
 
 // Dotc returns xᴴ y (x conjugated), accumulating in float64.
+//
+//lint:widen-ok deliberate float64 accumulation for numerical stability
 func Dotc(x, y []complex64) complex64 {
 	if len(x) != len(y) {
 		panic("cfloat: Dotc length mismatch")
@@ -72,6 +74,8 @@ func Dotc(x, y []complex64) complex64 {
 }
 
 // Dotu returns xᵀ y (no conjugation), accumulating in float64.
+//
+//lint:widen-ok deliberate float64 accumulation for numerical stability
 func Dotu(x, y []complex64) complex64 {
 	if len(x) != len(y) {
 		panic("cfloat: Dotu length mismatch")
@@ -89,6 +93,8 @@ func Dotu(x, y []complex64) complex64 {
 }
 
 // Nrm2 returns the Euclidean norm of x, accumulated in float64.
+//
+//lint:widen-ok deliberate float64 accumulation for numerical stability
 func Nrm2(x []complex64) float64 {
 	var s float64
 	for _, v := range x {
@@ -99,7 +105,9 @@ func Nrm2(x []complex64) float64 {
 	return math.Sqrt(s)
 }
 
-// Asum returns the sum of |Re|+|Im| over x.
+// Asum returns the sum of |Re|+|Im| over x, accumulated in float64.
+//
+//lint:widen-ok deliberate float64 accumulation for numerical stability
 func Asum(x []complex64) float64 {
 	var s float64
 	for _, v := range x {
@@ -110,6 +118,8 @@ func Asum(x []complex64) float64 {
 
 // IAmax returns the index of the element with the largest |Re|+|Im|
 // magnitude, or -1 for an empty slice.
+//
+//lint:widen-ok magnitude comparison in float64 is exact for float32 inputs
 func IAmax(x []complex64) int {
 	best, bi := -1.0, -1
 	for i, v := range x {
@@ -140,6 +150,8 @@ func Copy(dst, src []complex64) {
 // column-major in a with leading dimension lda, and op is selected by t.
 // For t == NoTrans, x has length n and y length m; for Transpose and
 // ConjTrans the roles are swapped.
+//
+//lint:widen-ok deliberate float64 accumulation for numerical stability
 func Gemv(t Trans, m, n int, alpha complex64, a []complex64, lda int, x []complex64, beta complex64, y []complex64) {
 	if m < 0 || n < 0 || lda < max(1, m) {
 		panic("cfloat: Gemv bad dimensions")
@@ -204,6 +216,8 @@ func Gemv(t Trans, m, n int, alpha complex64, a []complex64, lda int, x []comple
 
 // Gemm computes C = alpha*op(A)*op(B) + beta*C with column-major storage.
 // A is used as op(A) of size m×k, B as op(B) of size k×n, C is m×n.
+//
+//lint:widen-ok deliberate float64 accumulation for numerical stability
 func Gemm(ta, tb Trans, m, n, k int, alpha complex64, a []complex64, lda int, b []complex64, ldb int, beta complex64, c []complex64, ldc int) {
 	if m < 0 || n < 0 || k < 0 || ldc < max(1, m) {
 		panic("cfloat: Gemm bad dimensions")

@@ -240,14 +240,25 @@ func (op *TimeOperator) getPlan() *fft.Plan {
 }
 
 // Apply implements lsqr.Operator.
+//
+//lint:oracle-exempt time-domain wrapper over the registered FreqOperator; its
+// vector space (channels × Nt) does not match the oracle matrix, and it is
+// covered by this package's round-trip and adjoint tests
 func (op *TimeOperator) Apply(x, y []complex64) { op.run(x, y, false) }
 
 // ApplyAdjoint implements lsqr.Operator.
+//
+//lint:oracle-exempt time-domain wrapper over the registered FreqOperator; its
+// vector space (channels × Nt) does not match the oracle matrix, and it is
+// covered by this package's round-trip and adjoint tests
 func (op *TimeOperator) ApplyAdjoint(x, y []complex64) { op.run(x, y, true) }
 
 // AnalyzeTime applies the S stage standalone: channel-major time traces
 // in x (nchan × Nt) are transformed to frequency-major in-band panels in
 // out (nf × nchan) with the unitary forward scaling.
+//
+//lint:oracle-exempt DFT sampling stage, not an MVM path; its unitarity is
+// checked by this package's round-trip tests
 func (op *TimeOperator) AnalyzeTime(x, out []complex64, nchan int) {
 	if len(x) < nchan*op.Nt || len(out) < len(op.FreqIdx)*nchan {
 		panic("mdc: AnalyzeTime buffer too short")
@@ -270,6 +281,9 @@ func (op *TimeOperator) AnalyzeTime(x, out []complex64, nchan int) {
 // SynthesizeTime applies the Sᴴ stage standalone: frequency-major in-band
 // panels in x (nf × nchan) become channel-major time traces in out
 // (nchan × Nt) with the unitary inverse scaling.
+//
+//lint:oracle-exempt DFT sampling stage, not an MVM path; its unitarity is
+// checked by this package's round-trip tests
 func (op *TimeOperator) SynthesizeTime(x, out []complex64, nchan int) {
 	if len(x) < len(op.FreqIdx)*nchan || len(out) < nchan*op.Nt {
 		panic("mdc: SynthesizeTime buffer too short")

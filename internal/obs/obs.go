@@ -24,6 +24,14 @@ import (
 
 var enabled atomic.Bool
 
+// noCopy makes `go vet -copylocks` flag by-value copies of the metric
+// types: handles are shared registry pointers whose atomics must not be
+// duplicated, or recordings fork into diverging copies.
+type noCopy struct{}
+
+func (*noCopy) Lock()   {}
+func (*noCopy) Unlock() {}
+
 // Enable turns collection on process-wide.
 func Enable() { enabled.Store(true) }
 
@@ -36,8 +44,9 @@ func Enabled() bool { return enabled.Load() }
 
 // Counter is a named monotonic tally, safe for concurrent use.
 type Counter struct {
-	name string
-	v    atomic.Int64
+	noCopy noCopy
+	name   string
+	v      atomic.Int64
 }
 
 // Add increments the counter by n when collection is enabled.
@@ -56,10 +65,11 @@ func (c *Counter) Name() string { return c.name }
 // Timer accumulates the duration and invocation count of one stage, plus
 // the worst single span (useful for per-iteration solver timing).
 type Timer struct {
-	name  string
-	count atomic.Int64
-	ns    atomic.Int64
-	maxNs atomic.Int64
+	noCopy noCopy
+	name   string
+	count  atomic.Int64
+	ns     atomic.Int64
+	maxNs  atomic.Int64
 }
 
 // Span is one in-flight timing started by Timer.Start. The zero Span
@@ -111,9 +121,10 @@ func (t *Timer) Name() string { return t.name }
 // Meter tallies work volume — flops and bytes — for one stage. Paired
 // with the stage's Timer it yields GFlop/s and GB/s in snapshots.
 type Meter struct {
-	name  string
-	flops atomic.Int64
-	bytes atomic.Int64
+	noCopy noCopy
+	name   string
+	flops  atomic.Int64
+	bytes  atomic.Int64
 }
 
 // Add records flops floating-point operations and bytes of memory traffic
@@ -138,9 +149,10 @@ func (m *Meter) Name() string { return m.name }
 // counts, SRAM footprints, PE counts) — the CS-2 model outputs that used
 // to live only in ad-hoc result structs.
 type Gauge struct {
-	name string
-	v    atomic.Int64
-	set  atomic.Bool
+	noCopy noCopy
+	name   string
+	v      atomic.Int64
+	set    atomic.Bool
 }
 
 // Set records the value when collection is enabled.

@@ -118,8 +118,21 @@ func New(a *dense.Matrix, cfg Config) (*Oracle, error) {
 		Adjoint: denseOp.ApplyAdjoint,
 		Tol:     pairTol,
 	})
+	// The per-frequency kernel primitives, exercised directly rather than
+	// through FreqOperator, so the kernel layer itself stays under
+	// differential coverage.
+	o.Impls = append(o.Impls, Impl{
+		Name: "mdc-kernel-dense",
+		Apply: func(x, y []complex64) error {
+			dk.Apply(0, x, y)
+			return nil
+		},
+		Adjoint: func(x, y []complex64) { dk.ApplyAdjoint(0, x, y) },
+		Tol:     pairTol,
+	})
 	// MDC operator with the TLR kernel: the paper's configuration.
-	tlrOp := &mdc.FreqOperator{K: &mdc.TLRKernel{Mats: []*tlr.Matrix{t}}, Workers: workers}
+	tk := &mdc.TLRKernel{Mats: []*tlr.Matrix{t}}
+	tlrOp := &mdc.FreqOperator{K: tk, Workers: workers}
 	o.Impls = append(o.Impls, Impl{
 		Name: "mdc-tlr",
 		Apply: func(x, y []complex64) error {
@@ -127,6 +140,16 @@ func New(a *dense.Matrix, cfg Config) (*Oracle, error) {
 			return nil
 		},
 		Adjoint: tlrOp.ApplyAdjoint,
+		Tol:     compTol,
+		PairTol: pairTol,
+	})
+	o.Impls = append(o.Impls, Impl{
+		Name: "mdc-kernel-tlr",
+		Apply: func(x, y []complex64) error {
+			tk.Apply(0, x, y)
+			return nil
+		},
+		Adjoint: func(x, y []complex64) { tk.ApplyAdjoint(0, x, y) },
 		Tol:     compTol,
 		PairTol: pairTol,
 	})
@@ -170,6 +193,19 @@ func New(a *dense.Matrix, cfg Config) (*Oracle, error) {
 			PairTol: qTol,
 		})
 	}
+
+	// The dense reference itself, as a two-sided Impl: its Apply trivially
+	// matches ref, but registering it puts MulVecConjTrans under the
+	// adjoint-identity invariant alongside the compressed paths.
+	o.Impls = append(o.Impls, Impl{
+		Name: "dense",
+		Apply: func(x, y []complex64) error {
+			a.MulVec(x, y)
+			return nil
+		},
+		Adjoint: a.MulVecConjTrans,
+		Tol:     pairTol,
+	})
 	return o, nil
 }
 
