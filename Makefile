@@ -12,11 +12,13 @@ FUZZ_TARGETS = \
 	internal/cfloat:FuzzComplexMVMViaFourReal \
 	internal/precision:FuzzF16RoundTrip \
 	internal/precision:FuzzBF16RoundTrip \
-	internal/tlrio:FuzzRead
+	internal/tlrio:FuzzRead \
+	internal/lsqr:FuzzCheckpointDecode \
+	internal/cgls:FuzzCheckpointDecode
 
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz bench bench-json bench-compare lint repolint vuln cover
+.PHONY: all build vet test race race-stress fuzz bench bench-json bench-compare lint repolint vuln cover
 
 all: vet build test
 
@@ -31,6 +33,12 @@ test:
 
 race:
 	$(GO) test -race -shuffle=on ./...
+
+# concurrency stress tests (TestStress*, skipped under -short): sharded
+# scheduler with mid-flight revocation, concurrent MDC fan-out, batched
+# TLR-MVM — run repeatedly under the race detector
+race-stress:
+	$(GO) test -race -count=2 -run '^TestStress' ./internal/batch/ ./internal/mdc/ ./internal/tlr/
 
 fuzz:
 	@set -e; for t in $(FUZZ_TARGETS); do \

@@ -7,15 +7,17 @@ import (
 )
 
 // SeededRand keeps randomness in the correctness infrastructure
-// reproducible: inside internal/testkit and any _test.go file
-// (benchmarks and fuzz seed corpus construction included), RNGs must be
-// explicitly and deterministically seeded. Global math/rand draws (the
-// shared source) and time-derived seeds both make a failing trial
-// unreproducible, which defeats the differential oracle's purpose.
+// reproducible: inside internal/testkit, internal/fault, and any
+// _test.go file (benchmarks and fuzz seed corpus construction
+// included), RNGs must be explicitly and deterministically seeded.
+// Global math/rand draws (the shared source) and time-derived seeds
+// both make a failing trial unreproducible, which defeats the
+// differential oracle — and a chaos schedule that fires on a
+// nondeterministic draw cannot be replayed at all.
 var SeededRand = &Analyzer{
 	Name: "seededrand",
 	Doc: "require explicit deterministic seeds for RNGs in internal/testkit, " +
-		"benchmarks, and fuzz seeds (no global math/rand, no time-derived seeds)",
+		"internal/fault, benchmarks, and fuzz seeds (no global math/rand, no time-derived seeds)",
 	TestFiles: true,
 	Run:       runSeededRand,
 }
@@ -28,7 +30,7 @@ var randConstructors = map[string]bool{
 }
 
 func runSeededRand(pass *Pass) error {
-	inTestkit := pathMatches(pass.Path, "internal/testkit")
+	inTestkit := pathMatches(pass.Path, "internal/testkit") || pathMatches(pass.Path, "internal/fault")
 	// rand.New(rand.NewSource(bad)) nests two constructors around one
 	// seed expression; report each offending node once.
 	reported := map[token.Pos]bool{}

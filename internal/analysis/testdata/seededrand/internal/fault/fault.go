@@ -1,0 +1,34 @@
+// Package fault is a fixture for the seededrand scope rule: chaos
+// schedules must replay exactly, so RNG hygiene applies to every file
+// in internal/fault, tests or not.
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Good: a seeded generator can produce a reproducible schedule.
+func SeededSchedule(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(100)
+	}
+	return out
+}
+
+// Bad: a schedule drawn from the global source fires differently every
+// run.
+func RandomSchedule(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rand.Intn(100) // want `global math/rand\.Intn uses the shared unseeded source`
+	}
+	return out
+}
+
+// Bad: wall-clock seed makes the chaos run unreplayable.
+func ClockSeededRNG() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `RNG seeded from a wall-clock timestamp is different every run`
+}

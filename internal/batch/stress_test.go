@@ -1,0 +1,84 @@
+// Concurrency stress tests for the sharded scheduler, meant to run
+// under -race (`make race-stress`): many rounds of sharded execution
+// with mid-flight shard revocation and revival hammering the worker /
+// failover synchronization. Guarded by testing.Short so quick suites
+// skip them.
+package batch
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStressShardRunnerMidFlightRevocation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; run via make race-stress")
+	}
+	for _, shards := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			r, err := NewShardRunner(ShardOptions{Shards: shards, Sleep: noSleep, MaxAttempts: 64, DeathAfter: 1 << 30})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const rounds = 20
+			for round := 0; round < rounds; round++ {
+				tasks := makeTasks(4*shards, 3)
+				stop := make(chan struct{})
+				revoked := make(chan struct{})
+				go func() {
+					defer close(revoked)
+					// revoke a rotating victim mid-run, then revive it so the
+					// next round starts at full capacity
+					victim := round % shards
+					r.Revoke(victim)
+					select {
+					case <-stop:
+					case <-time.After(time.Millisecond):
+					}
+					r.Revive(victim)
+				}()
+				err := r.Run(tasks, func(shard int, task ShardTask) error {
+					fill(task)
+					return nil
+				})
+				close(stop)
+				<-revoked
+				if err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				checkAllDone(t, tasks)
+			}
+		})
+	}
+}
+
+func TestStressShardRunnerFlakyExecutors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; run via make race-stress")
+	}
+	r, err := NewShardRunner(ShardOptions{Shards: 6, Sleep: noSleep, MaxAttempts: 32, DeathAfter: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n atomic.Int64
+	for round := 0; round < 10; round++ {
+		tasks := makeTasks(48, 2)
+		err := r.Run(tasks, func(shard int, task ShardTask) error {
+			// deterministic-per-attempt flakiness: every 5th execution fails
+			if n.Add(1)%5 == 0 {
+				return fmt.Errorf("flaky attempt")
+			}
+			fill(task)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		checkAllDone(t, tasks)
+	}
+	if r.Alive() != 6 {
+		t.Errorf("alive = %d, want 6", r.Alive())
+	}
+}

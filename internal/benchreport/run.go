@@ -6,8 +6,10 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/cs2"
+	"repro/internal/fault"
 	"repro/internal/mdc"
 	"repro/internal/obs"
 	"repro/internal/ranks"
@@ -218,6 +220,11 @@ func Run(label string, p Profile) (*Report, error) {
 	add("wsesim.executed_bytes_op", float64(met.Bytes())/runs, "B/op", Lower, true)
 	add("wsesim.executed_fmacs_op", float64(met.FMACs)/runs, "fmac/op", Lower, true)
 
+	// --- fault tolerance: deterministic failover overhead ---
+	if err := failoverMetrics(add, tk); err != nil {
+		return nil, err
+	}
+
 	// --- paper-scale machine model: deterministic Tables 2/5 metrics ---
 	if p.PaperScale {
 		if err := paperScaleMetrics(add); err != nil {
@@ -229,6 +236,49 @@ func Run(label string, p Profile) (*Report, error) {
 		r.Stages = stages
 	}
 	return r, nil
+}
+
+// failoverMetrics measures the execution overhead of surviving a fixed
+// fault schedule on the sharded frequency fan-out: one of four simulated
+// CS-2 shards dies on its first product and the run completes on the
+// survivors. The counts are deterministic — tasks are enqueued
+// round-robin before execution starts, the dead shard's queue drains
+// sequentially up to the sticky fault, and the surviving shards never
+// fail — so extra executions, retries, and failed-over tasks are a pure
+// function of the schedule and the frequency count, and the metrics can
+// gate.
+func failoverMetrics(add func(name string, value float64, unit, direction string, gate bool), k mdc.CheckedKernel) error {
+	sched, err := fault.Parse("shard2:die@1")
+	if err != nil {
+		return fmt.Errorf("benchreport: fault schedule: %w", err)
+	}
+	runner, err := batch.NewShardRunner(batch.ShardOptions{
+		Shards: 4,
+		Sleep:  func(time.Duration) {}, // no real backoff: keep the run instant
+	})
+	if err != nil {
+		return fmt.Errorf("benchreport: shard runner: %w", err)
+	}
+	op := &mdc.ShardedFreqOperator{K: k, Runner: runner, Intercept: fault.Shard(fault.NewInjector(sched))}
+	x := make([]complex64, op.Cols())
+	y := make([]complex64, op.Rows())
+
+	before := obs.TakeSnapshot()
+	if err := op.Apply(x, y); err != nil {
+		return fmt.Errorf("benchreport: faulted sharded apply: %w", err)
+	}
+	after := obs.TakeSnapshot()
+	delta := func(name string) float64 {
+		return float64(after.Counter(name) - before.Counter(name))
+	}
+
+	nf := float64(k.NumFreqs())
+	extra := delta("batch.shard.execs") - nf
+	add("fault.failover.extra_execs", extra, "execs", Lower, true)
+	add("fault.failover.tasks", delta("batch.shard.failovers"), "tasks", Lower, true)
+	add("fault.failover.retries", delta("batch.shard.retries"), "retries", Lower, true)
+	add("fault.failover.overhead_pct", 100*extra/nf, "%", Lower, true)
+	return nil
 }
 
 // paperScaleMetrics evaluates the calibrated rank distributions on the

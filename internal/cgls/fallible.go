@@ -1,0 +1,210 @@
+// Fault-tolerant CGLS, mirroring internal/lsqr: the iteration runs
+// through a fallible operator, periodically snapshots its state, and a
+// faulted solve resumes from the last checkpoint with a bitwise
+// identical trajectory.
+package cgls
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cfloat"
+	"repro/internal/ckpt"
+	"repro/internal/lsqr"
+)
+
+const (
+	ckptMagic   = "CGLSCKPT"
+	ckptVersion = 1
+)
+
+// Checkpoint is the complete between-iterations CGLS state (s is
+// recomputed from r at the top of each iteration, so it is not stored).
+type Checkpoint struct {
+	// Iter is the number of completed iterations.
+	Iter int
+	// X, R, P are the solution estimate, residual, and search direction.
+	X, R, P []complex64
+	// Gamma and Gamma0 are the current and initial ‖Aᴴr‖² recurrence
+	// values.
+	Gamma, Gamma0 float64
+	// History is the residual norm after each completed iteration.
+	History []float64
+}
+
+// Encode serializes the checkpoint (magic "CGLSCKPT", CRC-32 trailer).
+func (c *Checkpoint) Encode() []byte {
+	e := ckpt.NewEncoder(ckptMagic, ckptVersion)
+	e.Int(int64(c.Iter))
+	e.Complex64s(c.X)
+	e.Complex64s(c.R)
+	e.Complex64s(c.P)
+	e.Float(c.Gamma)
+	e.Float(c.Gamma0)
+	e.Float64s(c.History)
+	return e.Bytes()
+}
+
+// DecodeCheckpoint parses an encoded checkpoint, rejecting corrupted or
+// truncated snapshots with an error wrapping ckpt.ErrCorrupt.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	d, err := ckpt.NewDecoder(ckptMagic, ckptVersion, data)
+	if err != nil {
+		return nil, err
+	}
+	c := &Checkpoint{}
+	iter, err := d.Int()
+	if err != nil {
+		return nil, err
+	}
+	if iter < 0 {
+		return nil, fmt.Errorf("%w: negative iteration count %d", ckpt.ErrCorrupt, iter)
+	}
+	c.Iter = int(iter)
+	for _, dst := range []*[]complex64{&c.X, &c.R, &c.P} {
+		if *dst, err = d.Complex64s(); err != nil {
+			return nil, err
+		}
+	}
+	if c.Gamma, err = d.Float(); err != nil {
+		return nil, err
+	}
+	if c.Gamma0, err = d.Float(); err != nil {
+		return nil, err
+	}
+	if c.History, err = d.Float64s(); err != nil {
+		return nil, err
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// CheckpointConfig controls periodic snapshotting inside SolveFallible.
+type CheckpointConfig struct {
+	// Interval snapshots every Interval completed iterations; 0 disables.
+	Interval int
+	// OnCheckpoint, when non-nil, observes each snapshot as it is taken.
+	OnCheckpoint func(*Checkpoint)
+}
+
+// SolveFallible runs CGLS through a fallible operator, optionally
+// resuming from a checkpoint. On an operator fault it returns the fault
+// plus the most recent checkpoint (nil if none was taken) so the caller
+// can restore capacity and resume.
+func SolveFallible(a lsqr.FallibleOperator, b []complex64, opts Options, cfg CheckpointConfig, resume *Checkpoint) (*Result, *Checkpoint, error) {
+	defer obsSolve.Start().End()
+	m, n := a.Rows(), a.Cols()
+	if len(b) != m {
+		return nil, nil, errors.New("cgls: rhs length mismatch")
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 30
+	}
+	if opts.Tol == 0 {
+		opts.Tol = 1e-8
+	}
+	damp2 := complex(float32(opts.Damp*opts.Damp), 0)
+
+	var (
+		x, r, p       []complex64
+		gamma, gamma0 float64
+		start         int
+		last          *Checkpoint
+	)
+	res := &Result{}
+	s := make([]complex64, n)
+	if resume != nil {
+		if len(resume.X) != n || len(resume.R) != m || len(resume.P) != n {
+			return nil, nil, fmt.Errorf("cgls: checkpoint shape (%d,%d,%d) does not match operator (%d,%d)",
+				len(resume.X), len(resume.R), len(resume.P), m, n)
+		}
+		x = append([]complex64(nil), resume.X...)
+		r = append([]complex64(nil), resume.R...)
+		p = append([]complex64(nil), resume.P...)
+		gamma, gamma0 = resume.Gamma, resume.Gamma0
+		start = resume.Iter
+		last = resume
+		res.Iters = resume.Iter
+		res.ResidualHistory = append([]float64(nil), resume.History...)
+		if len(resume.History) > 0 {
+			res.ResidualNorm = resume.History[len(resume.History)-1]
+		}
+		res.NormalResidual = sqrt(gamma)
+	} else {
+		x = make([]complex64, n)
+		r = make([]complex64, m) // r = b − A x (x starts at 0)
+		copy(r, b)
+		if err := a.ApplyAdjoint(r, s); err != nil {
+			return nil, nil, fmt.Errorf("cgls: initial adjoint product: %w", err)
+		}
+		p = make([]complex64, n)
+		copy(p, s)
+		gamma = real2(cfloat.Dotc(s, s))
+		gamma0 = gamma
+		if gamma0 == 0 {
+			return &Result{X: x, Converged: true}, nil, nil
+		}
+	}
+	res.X = x
+	q := make([]complex64, m)
+	for it := start; it < opts.MaxIters; it++ {
+		iterSpan := obsIter.Start()
+		if err := a.Apply(p, q); err != nil {
+			return nil, last, fmt.Errorf("cgls: iteration %d forward product: %w", it, err)
+		}
+		den := real2(cfloat.Dotc(q, q))
+		if opts.Damp > 0 {
+			den += float64(real(damp2)) * real2(cfloat.Dotc(p, p))
+		}
+		if den == 0 {
+			iterSpan.End()
+			break
+		}
+		alpha := complex(float32(gamma/den), 0)
+		cfloat.Axpy(alpha, p, x)
+		cfloat.Axpy(-alpha, q, r)
+		if err := a.ApplyAdjoint(r, s); err != nil {
+			return nil, last, fmt.Errorf("cgls: iteration %d adjoint product: %w", it, err)
+		}
+		if opts.Damp > 0 {
+			for i := range s {
+				s[i] -= damp2 * x[i]
+			}
+		}
+		gammaNew := real2(cfloat.Dotc(s, s))
+		res.Iters = it + 1
+		res.ResidualNorm = cfloat.Nrm2(r)
+		res.NormalResidual = sqrt(gammaNew)
+		res.ResidualHistory = append(res.ResidualHistory, res.ResidualNorm)
+		obsIters.Add(1)
+		if d := iterSpan.End(); d > 0 {
+			res.IterTimes = append(res.IterTimes, d)
+		}
+		if gammaNew <= opts.Tol*opts.Tol*gamma0 {
+			res.Converged = true
+			break
+		}
+		beta := complex(float32(gammaNew/gamma), 0)
+		for i := range p {
+			p[i] = s[i] + beta*p[i]
+		}
+		gamma = gammaNew
+
+		if cfg.Interval > 0 && (it+1)%cfg.Interval == 0 {
+			last = &Checkpoint{
+				Iter:  it + 1,
+				X:     append([]complex64(nil), x...),
+				R:     append([]complex64(nil), r...),
+				P:     append([]complex64(nil), p...),
+				Gamma: gamma, Gamma0: gamma0,
+				History: append([]float64(nil), res.ResidualHistory...),
+			}
+			if cfg.OnCheckpoint != nil {
+				cfg.OnCheckpoint(last)
+			}
+		}
+	}
+	return res, last, nil
+}

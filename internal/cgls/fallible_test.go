@@ -1,0 +1,169 @@
+package cgls
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/dense"
+	"repro/internal/lsqr"
+)
+
+type flakyOp struct {
+	op     lsqr.Operator
+	failAt int
+	count  int
+}
+
+func (f *flakyOp) Rows() int { return f.op.Rows() }
+func (f *flakyOp) Cols() int { return f.op.Cols() }
+func (f *flakyOp) Apply(x, y []complex64) error {
+	f.count++
+	if f.count == f.failAt {
+		return errors.New("injected product fault")
+	}
+	f.op.Apply(x, y)
+	return nil
+}
+func (f *flakyOp) ApplyAdjoint(x, y []complex64) error {
+	f.count++
+	if f.count == f.failAt {
+		return errors.New("injected product fault")
+	}
+	f.op.ApplyAdjoint(x, y)
+	return nil
+}
+
+func randProblem(seed int64, m, n int) (lsqr.Operator, []complex64) {
+	rng := rand.New(rand.NewSource(seed))
+	a := dense.Random(rng, m, n)
+	b := dense.Random(rng, m, 1).Data
+	return &lsqr.MatOperator{
+		M: m, N: n,
+		Fwd: a.MulVec,
+		Adj: a.MulVecConjTrans,
+	}, b
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	c := &Checkpoint{
+		Iter: 4,
+		X:    []complex64{1 + 2i}, R: []complex64{3, 4i}, P: []complex64{5},
+		Gamma: 0.25, Gamma0: 8,
+		History: []float64{3, 2, 1},
+	}
+	got, err := DecodeCheckpoint(c.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iter != 4 || got.Gamma != 0.25 || got.Gamma0 != 8 ||
+		len(got.X) != 1 || got.X[0] != 1+2i ||
+		len(got.R) != 2 || got.R[1] != 4i ||
+		len(got.P) != 1 || got.P[0] != 5 ||
+		len(got.History) != 3 || got.History[2] != 1 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestDecodeCheckpointRejectsCorruption(t *testing.T) {
+	data := (&Checkpoint{Iter: 1, X: []complex64{1}, R: []complex64{2}, P: []complex64{3}}).Encode()
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		if _, err := DecodeCheckpoint(mut); err == nil {
+			t.Fatalf("flipping byte %d went undetected", i)
+		}
+	}
+	if _, err := DecodeCheckpoint(data[:5]); !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Errorf("truncated: err = %v, want ErrCorrupt", err)
+	}
+	// an LSQR snapshot must not decode as a CGLS one
+	if _, err := DecodeCheckpoint((&Checkpoint{}).Encode()[:0]); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestResumeBitIdentical(t *testing.T) {
+	op, b := randProblem(61, 18, 11)
+	opts := Options{MaxIters: 12}
+
+	full, err := Solve(op, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snap []byte
+	_, _, err = SolveFallible(lsqr.Fallible{Op: op}, b, opts, CheckpointConfig{
+		Interval: 4,
+		OnCheckpoint: func(c *Checkpoint) {
+			if c.Iter == 4 {
+				snap = c.Encode()
+			}
+		},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("no checkpoint taken at iteration 4")
+	}
+	resume, err := DecodeCheckpoint(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := SolveFallible(lsqr.Fallible{Op: op}, b, opts, CheckpointConfig{}, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != full.Iters {
+		t.Errorf("resumed iters %d != full %d", res.Iters, full.Iters)
+	}
+	for i := range full.X {
+		if res.X[i] != full.X[i] {
+			t.Fatalf("element %d differs: %v vs %v (must be bit-identical)", i, res.X[i], full.X[i])
+		}
+	}
+	for i := range full.ResidualHistory {
+		if res.ResidualHistory[i] != full.ResidualHistory[i] {
+			t.Fatalf("history %d differs", i)
+		}
+	}
+}
+
+func TestFaultReturnsLatestCheckpoint(t *testing.T) {
+	op, b := randProblem(62, 14, 9)
+	opts := Options{MaxIters: 10}
+	full, err := Solve(op, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// products: 1 init adjoint, then 2 per iteration → invocation 8 is
+	// inside iteration 3 (0-based); checkpoints exist through iter 3.
+	flaky := &flakyOp{op: op, failAt: 8}
+	res, last, err := SolveFallible(flaky, b, opts, CheckpointConfig{Interval: 1}, nil)
+	if err == nil || res != nil {
+		t.Fatalf("injected fault should surface with no result (res=%v err=%v)", res, err)
+	}
+	if last == nil {
+		t.Fatal("faulted solve should hand back the latest checkpoint")
+	}
+	res2, _, err := SolveFallible(flaky, b, opts, CheckpointConfig{}, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.X {
+		if res2.X[i] != full.X[i] {
+			t.Fatalf("post-fault element %d differs: %v vs %v", i, res2.X[i], full.X[i])
+		}
+	}
+}
+
+func TestResumeShapeMismatch(t *testing.T) {
+	op, b := randProblem(63, 8, 6)
+	bad := &Checkpoint{Iter: 1, X: make([]complex64, 2), R: make([]complex64, 8), P: make([]complex64, 6)}
+	if _, _, err := SolveFallible(lsqr.Fallible{Op: op}, b, Options{MaxIters: 5}, CheckpointConfig{}, bad); err == nil {
+		t.Error("shape-mismatched checkpoint should be rejected")
+	}
+}

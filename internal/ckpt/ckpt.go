@@ -1,0 +1,187 @@
+// Package ckpt is the binary snapshot codec behind solver checkpointing:
+// the LSQR and CGLS fault-tolerant drivers periodically encode their
+// iterate state so a mid-solve shard failure resumes from the last
+// snapshot instead of restarting the inversion. The format is a tagged
+// little-endian stream — magic, version, typed fields, CRC-32 trailer —
+// and decoding is defensive: corrupted, truncated, or oversized inputs
+// return errors, never panic and never silently yield a usable-looking
+// state (the fuzz targets in internal/lsqr and internal/cgls hold the
+// codec to that contract).
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// ErrCorrupt is wrapped by every decode failure so callers can
+// distinguish a damaged snapshot from an I/O problem.
+var ErrCorrupt = errors.New("ckpt: corrupt snapshot")
+
+// Encoder assembles one snapshot. Fields must be read back by the
+// Decoder in the exact order they were written.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder starts a snapshot with the given magic tag (any short
+// ASCII identifier, e.g. "LSQRCKPT") and format version.
+func NewEncoder(magic string, version uint32) *Encoder {
+	e := &Encoder{}
+	e.buf = append(e.buf, byte(len(magic)))
+	e.buf = append(e.buf, magic...)
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, version)
+	return e
+}
+
+// Int appends one signed 64-bit field.
+func (e *Encoder) Int(v int64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(v))
+}
+
+// Float appends one float64 field.
+func (e *Encoder) Float(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// Complex64s appends a length-prefixed []complex64 field.
+func (e *Encoder) Complex64s(v []complex64) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(v)))
+	for _, c := range v {
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, math.Float32bits(real(c)))
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, math.Float32bits(imag(c)))
+	}
+}
+
+// Float64s appends a length-prefixed []float64 field.
+func (e *Encoder) Float64s(v []float64) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(v)))
+	for _, f := range v {
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(f))
+	}
+}
+
+// Bytes seals the snapshot: the CRC-32 (Castagnoli) of everything
+// written so far is appended and the full buffer returned.
+func (e *Encoder) Bytes() []byte {
+	sum := crc32.Checksum(e.buf, crc32.MakeTable(crc32.Castagnoli))
+	return binary.LittleEndian.AppendUint32(append([]byte(nil), e.buf...), sum)
+}
+
+// Decoder reads one snapshot back. Construction verifies the envelope
+// (magic, version, checksum); field reads are bounds-checked and
+// length prefixes are validated against the remaining payload before
+// any allocation, so hostile inputs cannot demand huge buffers.
+type Decoder struct {
+	data []byte // payload between version and checksum
+	off  int
+}
+
+// NewDecoder validates the envelope of data and positions the decoder
+// at the first field.
+func NewDecoder(magic string, version uint32, data []byte) (*Decoder, error) {
+	head := 1 + len(magic) + 4
+	if len(data) < head+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the envelope", ErrCorrupt, len(data))
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	sum := crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli))
+	if got := binary.LittleEndian.Uint32(trailer); got != sum {
+		return nil, fmt.Errorf("%w: checksum %#x != %#x", ErrCorrupt, got, sum)
+	}
+	if int(body[0]) != len(magic) || string(body[1:1+len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: magic mismatch", ErrCorrupt)
+	}
+	if got := binary.LittleEndian.Uint32(body[1+len(magic):]); got != version {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrCorrupt, got, version)
+	}
+	return &Decoder{data: body[head:]}, nil
+}
+
+func (d *Decoder) take(n int) ([]byte, error) {
+	if n < 0 || d.off+n > len(d.data) {
+		return nil, fmt.Errorf("%w: truncated field (%d bytes needed, %d left)", ErrCorrupt, n, len(d.data)-d.off)
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+// Int reads one signed 64-bit field.
+func (d *Decoder) Int() (int64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(b)), nil
+}
+
+// Float reads one float64 field.
+func (d *Decoder) Float() (float64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+func (d *Decoder) length(elemSize int) (int, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if n*elemSize > len(d.data)-d.off {
+		return 0, fmt.Errorf("%w: length %d exceeds remaining payload", ErrCorrupt, n)
+	}
+	return n, nil
+}
+
+// Complex64s reads a length-prefixed []complex64 field.
+func (d *Decoder) Complex64s() ([]complex64, error) {
+	n, err := d.length(8)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex64, n)
+	for i := range out {
+		b, err := d.take(8)
+		if err != nil {
+			return nil, err
+		}
+		re := math.Float32frombits(binary.LittleEndian.Uint32(b))
+		im := math.Float32frombits(binary.LittleEndian.Uint32(b[4:]))
+		out[i] = complex(re, im)
+	}
+	return out, nil
+}
+
+// Float64s reads a length-prefixed []float64 field.
+func (d *Decoder) Float64s() ([]float64, error) {
+	n, err := d.length(8)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		f, err := d.Float()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// Close asserts the payload was fully consumed — trailing garbage in a
+// checksummed snapshot means the writer and reader disagree on the
+// schema, which must fail loudly rather than resume from half a state.
+func (d *Decoder) Close() error {
+	if d.off != len(d.data) {
+		return fmt.Errorf("%w: %d unread trailing bytes", ErrCorrupt, len(d.data)-d.off)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package ckpt
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func sampleSnapshot() []byte {
+	e := NewEncoder("TESTCKPT", 3)
+	e.Int(-42)
+	e.Float(math.Pi)
+	e.Complex64s([]complex64{1 + 2i, complex(float32(math.Inf(1)), -3)})
+	e.Float64s([]float64{0.5, -1.25})
+	return e.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := sampleSnapshot()
+	d, err := NewDecoder("TESTCKPT", 3, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := d.Int(); err != nil || v != -42 {
+		t.Fatalf("Int = %d, %v", v, err)
+	}
+	if v, err := d.Float(); err != nil || v != math.Pi {
+		t.Fatalf("Float = %g, %v", v, err)
+	}
+	cs, err := d.Complex64s()
+	if err != nil || len(cs) != 2 || cs[0] != 1+2i || real(cs[1]) != float32(math.Inf(1)) || imag(cs[1]) != -3 {
+		t.Fatalf("Complex64s = %v, %v", cs, err)
+	}
+	fs, err := d.Float64s()
+	if err != nil || len(fs) != 2 || fs[0] != 0.5 || fs[1] != -1.25 {
+		t.Fatalf("Float64s = %v, %v", fs, err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaNSurvivesRoundTrip(t *testing.T) {
+	e := NewEncoder("M", 1)
+	nan := float32(math.NaN())
+	e.Complex64s([]complex64{complex(nan, nan)})
+	e.Float(math.NaN())
+	d, err := NewDecoder("M", 1, e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := d.Complex64s()
+	if err != nil || len(cs) != 1 {
+		t.Fatal(err)
+	}
+	if re := real(cs[0]); re == re {
+		t.Error("NaN real part did not survive")
+	}
+	if f, err := d.Float(); err != nil || !math.IsNaN(f) {
+		t.Errorf("Float = %g, %v; want NaN", f, err)
+	}
+}
+
+func TestEnvelopeRejection(t *testing.T) {
+	data := sampleSnapshot()
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     data[:4],
+		"truncated": data[:len(data)-1],
+	}
+	for name, bad := range cases {
+		if _, err := NewDecoder("TESTCKPT", 3, bad); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	if _, err := NewDecoder("OTHERMAG", 3, data); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("wrong magic: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := NewDecoder("TESTCKPT", 4, data); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("wrong version: err = %v, want ErrCorrupt", err)
+	}
+	// single-bit corruption anywhere must fail the checksum
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x10
+		if _, err := NewDecoder("TESTCKPT", 3, mut); err == nil {
+			t.Fatalf("flipping byte %d went undetected", i)
+		}
+	}
+}
+
+func TestFieldOverrun(t *testing.T) {
+	e := NewEncoder("M", 1)
+	e.Int(7)
+	d, err := NewDecoder("M", 1, e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Int(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Int(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("reading past the payload: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := d.Complex64s(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("slice read past the payload: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCloseRejectsTrailingBytes(t *testing.T) {
+	e := NewEncoder("M", 1)
+	e.Int(1)
+	e.Int(2)
+	d, err := NewDecoder("M", 1, e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Int(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Close with unread payload: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestHugeLengthPrefixRejectedBeforeAlloc(t *testing.T) {
+	// Hand-build a snapshot whose slice claims 2^31 elements but carries
+	// none: the decoder must reject it from the length prefix alone.
+	e := NewEncoder("M", 1)
+	e.Complex64s(nil)
+	data := e.Bytes()
+	// overwrite the length prefix (first 4 payload bytes) and re-seal
+	head := 1 + 1 + 4 // len byte + magic "M" + version
+	body := append([]byte(nil), data[:len(data)-4]...)
+	body[head] = 0xff
+	body[head+1] = 0xff
+	body[head+2] = 0xff
+	body[head+3] = 0x7f
+	e2 := Encoder{buf: body}
+	d, err := NewDecoder("M", 1, e2.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Complex64s(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("huge length prefix: err = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,156 @@
+// Wrappers that attach an Injector to the three layers of the execution
+// stack: per-frequency kernels (mdc.CheckedKernel), whole operators
+// (lsqr.FallibleOperator), and simulated CS-2 shard executors
+// (batch.ShardExec). Each wrapper advances its target's invocation
+// count, fails or delays per the schedule, and corrupts outputs to NaN
+// for NaN events — downstream validation must catch the corruption, not
+// the wrapper.
+package fault
+
+import (
+	"math"
+	"strconv"
+
+	"repro/internal/batch"
+	"repro/internal/lsqr"
+	"repro/internal/mdc"
+)
+
+// corrupt overwrites y's first element with NaN — the minimal silent
+// corruption the shard runner's output validation must detect.
+func corrupt(y []complex64) {
+	if len(y) > 0 {
+		nan := float32(math.NaN())
+		y[0] = complex(nan, nan)
+	}
+}
+
+// Kernel wraps a CheckedKernel with fault injection on its checked
+// products (one injector invocation per per-frequency product). The
+// infallible Apply/ApplyAdjoint pass through untouched — faults belong
+// on the fallible path the schedulers use.
+type Kernel struct {
+	mdc.CheckedKernel
+	Inj *Injector
+	// Target is the injector stream name, default "kernel".
+	Target string
+}
+
+// WrapKernel attaches inj to k under the given target name.
+func WrapKernel(k mdc.CheckedKernel, inj *Injector, target string) *Kernel {
+	if target == "" {
+		target = "kernel"
+	}
+	return &Kernel{CheckedKernel: k, Inj: inj, Target: target}
+}
+
+// ApplyChecked implements mdc.CheckedKernel with injection.
+func (k *Kernel) ApplyChecked(f int, x, y []complex64) error {
+	if dec := k.Inj.Advance(k.Target); dec.Err != nil {
+		return dec.Err
+	} else if dec.NaN {
+		if err := k.CheckedKernel.ApplyChecked(f, x, y); err != nil {
+			return err
+		}
+		corrupt(y)
+		return nil
+	}
+	return k.CheckedKernel.ApplyChecked(f, x, y)
+}
+
+// ApplyAdjointChecked implements mdc.CheckedKernel with injection.
+func (k *Kernel) ApplyAdjointChecked(f int, x, y []complex64) error {
+	if dec := k.Inj.Advance(k.Target); dec.Err != nil {
+		return dec.Err
+	} else if dec.NaN {
+		if err := k.CheckedKernel.ApplyAdjointChecked(f, x, y); err != nil {
+			return err
+		}
+		corrupt(y)
+		return nil
+	}
+	return k.CheckedKernel.ApplyAdjointChecked(f, x, y)
+}
+
+// Operator wraps a FallibleOperator with fault injection on whole
+// forward/adjoint products (one injector invocation per product) —
+// the layer that exercises solver checkpoint/resume.
+type Operator struct {
+	Op  lsqr.FallibleOperator
+	Inj *Injector
+	// Target is the injector stream name, default "op".
+	Target string
+}
+
+// WrapOperator attaches inj to op under the given target name.
+func WrapOperator(op lsqr.FallibleOperator, inj *Injector, target string) *Operator {
+	if target == "" {
+		target = "op"
+	}
+	return &Operator{Op: op, Inj: inj, Target: target}
+}
+
+// Rows implements lsqr.FallibleOperator.
+func (o *Operator) Rows() int { return o.Op.Rows() }
+
+// Cols implements lsqr.FallibleOperator.
+func (o *Operator) Cols() int { return o.Op.Cols() }
+
+// Apply implements lsqr.FallibleOperator with injection.
+func (o *Operator) Apply(x, y []complex64) error {
+	dec := o.Inj.Advance(o.Target)
+	if dec.Err != nil {
+		return dec.Err
+	}
+	if err := o.Op.Apply(x, y); err != nil {
+		return err
+	}
+	if dec.NaN {
+		corrupt(y)
+	}
+	return nil
+}
+
+// ApplyAdjoint implements lsqr.FallibleOperator with injection.
+func (o *Operator) ApplyAdjoint(x, y []complex64) error {
+	dec := o.Inj.Advance(o.Target)
+	if dec.Err != nil {
+		return dec.Err
+	}
+	if err := o.Op.ApplyAdjoint(x, y); err != nil {
+		return err
+	}
+	if dec.NaN {
+		corrupt(y)
+	}
+	return nil
+}
+
+// Shard returns the batch intercept middleware that injects faults per
+// simulated shard: each execution on shard s advances target "shard<s>"
+// (shard0, shard1, …) — the hook mdc.ShardedFreqOperator.Intercept
+// accepts. Because the runner drains each shard's queue sequentially,
+// per-shard invocation counts are deterministic for a fixed task set.
+func Shard(inj *Injector) func(batch.ShardExec) batch.ShardExec {
+	return func(next batch.ShardExec) batch.ShardExec {
+		return func(shard int, task batch.ShardTask) error {
+			dec := inj.Advance(shardTarget(shard))
+			if dec.Err != nil {
+				return dec.Err
+			}
+			if err := next(shard, task); err != nil {
+				return err
+			}
+			if dec.NaN {
+				corrupt(task.Y)
+			}
+			return nil
+		}
+	}
+}
+
+// ShardTarget returns the injector stream name for a shard index, the
+// name schedules use ("shard0", "shard1", …).
+func ShardTarget(shard int) string { return shardTarget(shard) }
+
+func shardTarget(shard int) string { return "shard" + strconv.Itoa(shard) }

@@ -1,0 +1,297 @@
+// Fault-tolerant LSQR: the same Paige–Saunders iteration as Solve, but
+// the operator products may fail (a dead shard, an exhausted retry
+// budget) and the solver state is periodically checkpointed so the MDD
+// driver resumes a faulted solve from the last snapshot instead of
+// restarting the inversion. A resumed solve replays the exact float
+// state of the snapshot, so its trajectory is bitwise identical to an
+// uninterrupted run.
+package lsqr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cfloat"
+	"repro/internal/ckpt"
+)
+
+// FallibleOperator is Operator with error propagation: the MVM products
+// report faults instead of panicking. mdc.ShardedFreqOperator and the
+// fault-injection wrappers implement it.
+type FallibleOperator interface {
+	Rows() int
+	Cols() int
+	// Apply computes y = A x or reports why it could not.
+	Apply(x, y []complex64) error
+	// ApplyAdjoint computes y = Aᴴ x likewise.
+	ApplyAdjoint(x, y []complex64) error
+}
+
+// Fallible adapts an infallible Operator to FallibleOperator.
+type Fallible struct{ Op Operator }
+
+// Rows implements FallibleOperator.
+func (f Fallible) Rows() int { return f.Op.Rows() }
+
+// Cols implements FallibleOperator.
+func (f Fallible) Cols() int { return f.Op.Cols() }
+
+// Apply implements FallibleOperator.
+func (f Fallible) Apply(x, y []complex64) error { f.Op.Apply(x, y); return nil }
+
+// ApplyAdjoint implements FallibleOperator.
+func (f Fallible) ApplyAdjoint(x, y []complex64) error { f.Op.ApplyAdjoint(x, y); return nil }
+
+const (
+	ckptMagic   = "LSQRCKPT"
+	ckptVersion = 1
+)
+
+// Checkpoint is the complete between-iterations state of an LSQR solve:
+// restoring it and continuing reproduces the uninterrupted trajectory
+// bit for bit (the loop body reads exactly these fields — the previous
+// iteration's beta is recomputed from u, so it is not stored).
+type Checkpoint struct {
+	// Iter is the number of completed iterations.
+	Iter int
+	// X, U, V, W are the solution estimate and the bidiagonalization /
+	// search-direction vectors.
+	X, U, V, W []complex64
+	// Alpha, PhiBar, RhoBar, Anorm, Ddnorm, Bnorm are the scalar
+	// recurrence state.
+	Alpha, PhiBar, RhoBar, Anorm, Ddnorm, Bnorm float64
+	// History is the residual norm after each completed iteration.
+	History []float64
+}
+
+// Encode serializes the checkpoint (magic "LSQRCKPT", CRC-32 trailer).
+func (c *Checkpoint) Encode() []byte {
+	e := ckpt.NewEncoder(ckptMagic, ckptVersion)
+	e.Int(int64(c.Iter))
+	e.Complex64s(c.X)
+	e.Complex64s(c.U)
+	e.Complex64s(c.V)
+	e.Complex64s(c.W)
+	e.Float(c.Alpha)
+	e.Float(c.PhiBar)
+	e.Float(c.RhoBar)
+	e.Float(c.Anorm)
+	e.Float(c.Ddnorm)
+	e.Float(c.Bnorm)
+	e.Float64s(c.History)
+	return e.Bytes()
+}
+
+// DecodeCheckpoint parses an encoded checkpoint, rejecting corrupted or
+// truncated snapshots with an error wrapping ckpt.ErrCorrupt.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	d, err := ckpt.NewDecoder(ckptMagic, ckptVersion, data)
+	if err != nil {
+		return nil, err
+	}
+	c := &Checkpoint{}
+	iter, err := d.Int()
+	if err != nil {
+		return nil, err
+	}
+	if iter < 0 {
+		return nil, fmt.Errorf("%w: negative iteration count %d", ckpt.ErrCorrupt, iter)
+	}
+	c.Iter = int(iter)
+	for _, dst := range []*[]complex64{&c.X, &c.U, &c.V, &c.W} {
+		if *dst, err = d.Complex64s(); err != nil {
+			return nil, err
+		}
+	}
+	for _, dst := range []*float64{&c.Alpha, &c.PhiBar, &c.RhoBar, &c.Anorm, &c.Ddnorm, &c.Bnorm} {
+		if *dst, err = d.Float(); err != nil {
+			return nil, err
+		}
+	}
+	if c.History, err = d.Float64s(); err != nil {
+		return nil, err
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// CheckpointConfig controls periodic snapshotting inside SolveFallible.
+type CheckpointConfig struct {
+	// Interval snapshots the solver state every Interval completed
+	// iterations; 0 disables checkpointing.
+	Interval int
+	// OnCheckpoint, when non-nil, observes each snapshot as it is taken
+	// (e.g. to persist its Encode()d bytes).
+	OnCheckpoint func(*Checkpoint)
+}
+
+// SolveFallible runs LSQR on A x ≈ b through a fallible operator,
+// optionally resuming from a checkpoint. On an operator fault it
+// returns the fault and the most recent checkpoint (which may be nil if
+// none was taken); the caller restores capacity and calls back with
+// resume set to continue the solve. The returned checkpoint on success
+// is the last one taken, for callers that persist solver state.
+func SolveFallible(a FallibleOperator, b []complex64, opts Options, cfg CheckpointConfig, resume *Checkpoint) (*Result, *Checkpoint, error) {
+	defer obsSolve.Start().End()
+	m, n := a.Rows(), a.Cols()
+	if len(b) != m {
+		return nil, nil, errors.New("lsqr: rhs length mismatch")
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 30
+	}
+	if opts.ATol == 0 {
+		opts.ATol = 1e-8
+	}
+	if opts.BTol == 0 {
+		opts.BTol = 1e-8
+	}
+
+	var (
+		x, u, v, w                                  []complex64
+		alpha, phiBar, rhoBar, anorm, ddnorm, bnorm float64
+		start                                       int
+		last                                        *Checkpoint
+	)
+	res := &Result{}
+	if resume != nil {
+		if len(resume.X) != n || len(resume.U) != m || len(resume.V) != n || len(resume.W) != n {
+			return nil, nil, fmt.Errorf("lsqr: checkpoint shape (%d,%d,%d,%d) does not match operator (%d,%d)",
+				len(resume.X), len(resume.U), len(resume.V), len(resume.W), m, n)
+		}
+		x = append([]complex64(nil), resume.X...)
+		u = append([]complex64(nil), resume.U...)
+		v = append([]complex64(nil), resume.V...)
+		w = append([]complex64(nil), resume.W...)
+		alpha, phiBar, rhoBar = resume.Alpha, resume.PhiBar, resume.RhoBar
+		anorm, ddnorm, bnorm = resume.Anorm, resume.Ddnorm, resume.Bnorm
+		start = resume.Iter
+		last = resume
+		res.Iters = resume.Iter
+		res.ResidualHistory = append([]float64(nil), resume.History...)
+		if len(resume.History) > 0 {
+			res.ResidualNorm = resume.History[len(resume.History)-1]
+		}
+	} else {
+		x = make([]complex64, n)
+		u = make([]complex64, m)
+		copy(u, b)
+		beta := cfloat.Nrm2(u)
+		if beta == 0 {
+			return &Result{X: x, Converged: true}, nil, ErrZeroRHS
+		}
+		rescale(u, 1/beta)
+
+		v = make([]complex64, n)
+		if err := a.ApplyAdjoint(u, v); err != nil {
+			return nil, nil, fmt.Errorf("lsqr: initial adjoint product: %w", err)
+		}
+		alpha = cfloat.Nrm2(v)
+		if alpha > 0 {
+			rescale(v, 1/alpha)
+		}
+		w = make([]complex64, n)
+		copy(w, v)
+
+		phiBar = beta
+		rhoBar = alpha
+		bnorm = beta
+	}
+	res.X = x
+	damp := opts.Damp
+	tmpM := make([]complex64, m)
+	tmpN := make([]complex64, n)
+
+	for it := start; it < opts.MaxIters; it++ {
+		iterSpan := obsIter.Start()
+		// bidiagonalization: beta*u = A v − alpha*u
+		if err := a.Apply(v, tmpM); err != nil {
+			return nil, last, fmt.Errorf("lsqr: iteration %d forward product: %w", it, err)
+		}
+		for i := range u {
+			u[i] = tmpM[i] - complex(float32(alpha), 0)*u[i]
+		}
+		beta := cfloat.Nrm2(u)
+		if beta > 0 {
+			rescale(u, 1/beta)
+		}
+		anorm = math.Sqrt(anorm*anorm + alpha*alpha + beta*beta + damp*damp)
+
+		// alpha*v = Aᴴ u − beta*v
+		if err := a.ApplyAdjoint(u, tmpN); err != nil {
+			return nil, last, fmt.Errorf("lsqr: iteration %d adjoint product: %w", it, err)
+		}
+		for i := range v {
+			v[i] = tmpN[i] - complex(float32(beta), 0)*v[i]
+		}
+		alpha = cfloat.Nrm2(v)
+		if alpha > 0 {
+			rescale(v, 1/alpha)
+		}
+
+		// eliminate damping: rotate (rhoBar, damp) onto rhoBar1 and carry
+		// the cosine into phiBar (the sine only feeds the unused ‖x‖ bound)
+		rhoBar1 := rhoBar
+		if damp > 0 {
+			rhoBar1 = math.Hypot(rhoBar, damp)
+			phiBar = (rhoBar / rhoBar1) * phiBar
+		}
+
+		// Givens rotation to eliminate the subdiagonal beta
+		rho := math.Hypot(rhoBar1, beta)
+		cs := rhoBar1 / rho
+		sn := beta / rho
+		theta := sn * alpha
+		rhoBar = -cs * alpha
+		phi := cs * phiBar
+		phiBar = sn * phiBar
+
+		// update x and w
+		t1 := phi / rho
+		t2 := -theta / rho
+		for i := 0; i < n; i++ {
+			x[i] += complex(float32(t1), 0) * w[i]
+			w[i] = v[i] + complex(float32(t2), 0)*w[i]
+		}
+		ddnorm += (1 / rho) * (1 / rho) * float64(real(cfloat.Dotc(w, w)))
+
+		res.Iters = it + 1
+		res.ResidualNorm = phiBar
+		res.ResidualHistory = append(res.ResidualHistory, phiBar)
+		obsIters.Add(1)
+		if d := iterSpan.End(); d > 0 {
+			res.IterTimes = append(res.IterTimes, d)
+		}
+
+		// stopping tests (Paige–Saunders criteria 1 and 2)
+		if phiBar <= opts.BTol*bnorm+opts.ATol*anorm*cfloat.Nrm2(x) {
+			res.Converged = true
+			break
+		}
+		arnorm := alpha * math.Abs(cs) * phiBar
+		if anorm > 0 && phiBar > 0 && arnorm/(anorm*phiBar) <= opts.ATol {
+			res.Converged = true
+			break
+		}
+
+		if cfg.Interval > 0 && (it+1)%cfg.Interval == 0 {
+			last = &Checkpoint{
+				Iter:  it + 1,
+				X:     append([]complex64(nil), x...),
+				U:     append([]complex64(nil), u...),
+				V:     append([]complex64(nil), v...),
+				W:     append([]complex64(nil), w...),
+				Alpha: alpha, PhiBar: phiBar, RhoBar: rhoBar,
+				Anorm: anorm, Ddnorm: ddnorm, Bnorm: bnorm,
+				History: append([]float64(nil), res.ResidualHistory...),
+			}
+			if cfg.OnCheckpoint != nil {
+				cfg.OnCheckpoint(last)
+			}
+		}
+	}
+	return res, last, nil
+}

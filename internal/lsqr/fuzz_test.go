@@ -1,0 +1,48 @@
+package lsqr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode holds DecodeCheckpoint to its contract on
+// arbitrary bytes: corrupted, truncated, or hostile snapshots must
+// return an error — never panic, never over-allocate from a forged
+// length prefix, and never silently yield a half-decoded state. A
+// successful decode must re-encode to a decodable snapshot (idempotent
+// round trip).
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("LSQRCKPT"))
+	good := (&Checkpoint{
+		Iter: 3,
+		X:    []complex64{1 + 2i, 3}, U: []complex64{4}, V: []complex64{5, 6i}, W: []complex64{7, 8},
+		Alpha: 0.1, PhiBar: 0.2, RhoBar: 0.3, Anorm: 0.4, Ddnorm: 0.5, Bnorm: 0.6,
+		History: []float64{1, 0.5, 0.25},
+	}).Encode()
+	f.Add(good)
+	f.Add(good[:len(good)-3])
+	mut := append([]byte(nil), good...)
+	mut[len(mut)/2] ^= 0xff
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCheckpoint(data)
+		if err != nil {
+			if c != nil {
+				t.Fatal("error with non-nil checkpoint")
+			}
+			return
+		}
+		again, err := DecodeCheckpoint(c.Encode())
+		if err != nil {
+			t.Fatalf("re-encode of a valid snapshot failed to decode: %v", err)
+		}
+		if again.Iter != c.Iter || len(again.X) != len(c.X) || len(again.History) != len(c.History) {
+			t.Fatal("re-encoded snapshot lost state")
+		}
+		if !bytes.Equal(c.Encode(), again.Encode()) {
+			t.Fatal("encoding is not stable across a round trip")
+		}
+	})
+}

@@ -7,7 +7,6 @@ package lsqr
 
 import (
 	"errors"
-	"math"
 	"time"
 
 	"repro/internal/cfloat"
@@ -69,120 +68,12 @@ type Result struct {
 // ErrZeroRHS is returned when b is identically zero (the solution is x=0).
 var ErrZeroRHS = errors.New("lsqr: right-hand side is zero")
 
-// Solve runs LSQR on A x ≈ b.
+// Solve runs LSQR on A x ≈ b. It is the infallible front door over
+// SolveFallible: same iteration, no checkpointing, operator faults
+// impossible by construction.
 func Solve(a Operator, b []complex64, opts Options) (*Result, error) {
-	defer obsSolve.Start().End()
-	m, n := a.Rows(), a.Cols()
-	if len(b) != m {
-		return nil, errors.New("lsqr: rhs length mismatch")
-	}
-	if opts.MaxIters <= 0 {
-		opts.MaxIters = 30
-	}
-	if opts.ATol == 0 {
-		opts.ATol = 1e-8
-	}
-	if opts.BTol == 0 {
-		opts.BTol = 1e-8
-	}
-
-	x := make([]complex64, n)
-	u := make([]complex64, m)
-	copy(u, b)
-	beta := cfloat.Nrm2(u)
-	if beta == 0 {
-		return &Result{X: x, Converged: true}, ErrZeroRHS
-	}
-	rescale(u, 1/beta)
-
-	v := make([]complex64, n)
-	a.ApplyAdjoint(u, v)
-	alpha := cfloat.Nrm2(v)
-	if alpha > 0 {
-		rescale(v, 1/alpha)
-	}
-	w := make([]complex64, n)
-	copy(w, v)
-
-	phiBar := beta
-	rhoBar := alpha
-	bnorm := beta
-	var anorm, ddnorm float64
-	damp := opts.Damp
-
-	res := &Result{X: x}
-	tmpM := make([]complex64, m)
-	tmpN := make([]complex64, n)
-
-	for it := 0; it < opts.MaxIters; it++ {
-		iterSpan := obsIter.Start()
-		// bidiagonalization: beta*u = A v − alpha*u
-		a.Apply(v, tmpM)
-		for i := range u {
-			u[i] = tmpM[i] - complex(float32(alpha), 0)*u[i]
-		}
-		beta = cfloat.Nrm2(u)
-		if beta > 0 {
-			rescale(u, 1/beta)
-		}
-		anorm = math.Sqrt(anorm*anorm + alpha*alpha + beta*beta + damp*damp)
-
-		// alpha*v = Aᴴ u − beta*v
-		a.ApplyAdjoint(u, tmpN)
-		for i := range v {
-			v[i] = tmpN[i] - complex(float32(beta), 0)*v[i]
-		}
-		alpha = cfloat.Nrm2(v)
-		if alpha > 0 {
-			rescale(v, 1/alpha)
-		}
-
-		// eliminate damping: rotate (rhoBar, damp) onto rhoBar1 and carry
-		// the cosine into phiBar (the sine only feeds the unused ‖x‖ bound)
-		rhoBar1 := rhoBar
-		if damp > 0 {
-			rhoBar1 = math.Hypot(rhoBar, damp)
-			phiBar = (rhoBar / rhoBar1) * phiBar
-		}
-
-		// Givens rotation to eliminate the subdiagonal beta
-		rho := math.Hypot(rhoBar1, beta)
-		cs := rhoBar1 / rho
-		sn := beta / rho
-		theta := sn * alpha
-		rhoBar = -cs * alpha
-		phi := cs * phiBar
-		phiBar = sn * phiBar
-
-		// update x and w
-		t1 := phi / rho
-		t2 := -theta / rho
-		for i := 0; i < n; i++ {
-			x[i] += complex(float32(t1), 0) * w[i]
-			w[i] = v[i] + complex(float32(t2), 0)*w[i]
-		}
-		ddnorm += (1 / rho) * (1 / rho) * float64(real(cfloat.Dotc(w, w)))
-
-		res.Iters = it + 1
-		res.ResidualNorm = phiBar
-		res.ResidualHistory = append(res.ResidualHistory, phiBar)
-		obsIters.Add(1)
-		if d := iterSpan.End(); d > 0 {
-			res.IterTimes = append(res.IterTimes, d)
-		}
-
-		// stopping tests (Paige–Saunders criteria 1 and 2)
-		if phiBar <= opts.BTol*bnorm+opts.ATol*anorm*cfloat.Nrm2(x) {
-			res.Converged = true
-			break
-		}
-		arnorm := alpha * math.Abs(cs) * phiBar
-		if anorm > 0 && phiBar > 0 && arnorm/(anorm*phiBar) <= opts.ATol {
-			res.Converged = true
-			break
-		}
-	}
-	return res, nil
+	res, _, err := SolveFallible(Fallible{Op: a}, b, opts, CheckpointConfig{}, nil)
+	return res, err
 }
 
 func rescale(x []complex64, s float64) {

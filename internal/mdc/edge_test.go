@@ -1,0 +1,167 @@
+package mdc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+// emptyKernel reports zero frequencies, a degenerate shape the checked
+// paths must treat as a no-op rather than an index panic.
+type emptyKernel struct{}
+
+func (emptyKernel) NumFreqs() int                        { return 0 }
+func (emptyKernel) Rows() int                            { return 4 }
+func (emptyKernel) Cols() int                            { return 3 }
+func (emptyKernel) Apply(f int, x, y []complex64)        {}
+func (emptyKernel) ApplyAdjoint(f int, x, y []complex64) {}
+func (emptyKernel) Bytes() int64                         { return 0 }
+func (emptyKernel) ApplyChecked(f int, x, y []complex64) error {
+	return checkKernelArgs(emptyKernel{}, f, x, y, false)
+}
+func (emptyKernel) ApplyAdjointChecked(f int, x, y []complex64) error {
+	return checkKernelArgs(emptyKernel{}, f, x, y, true)
+}
+
+func TestFreqOperatorZeroFrequencies(t *testing.T) {
+	op := &FreqOperator{K: emptyKernel{}}
+	if op.Rows() != 0 || op.Cols() != 0 {
+		t.Fatalf("zero-frequency operator is %dx%d, want 0x0", op.Rows(), op.Cols())
+	}
+	if err := op.ApplyChecked(nil, nil); err != nil {
+		t.Errorf("forward no-op: %v", err)
+	}
+	if err := op.ApplyAdjointChecked(nil, nil); err != nil {
+		t.Errorf("adjoint no-op: %v", err)
+	}
+	// the panicking entry points must also be no-ops, not crashes
+	op.Apply(nil, nil)
+	op.ApplyAdjoint(nil, nil)
+}
+
+func TestShardedOperatorZeroFrequencies(t *testing.T) {
+	op, err := NewShardedFreqOperator(emptyKernel{}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Apply(nil, nil); err != nil {
+		t.Errorf("forward no-op: %v", err)
+	}
+	if err := op.ApplyAdjoint(nil, nil); err != nil {
+		t.Errorf("adjoint no-op: %v", err)
+	}
+}
+
+func TestFreqOperatorSingleFrequency(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	k := randKernel(rng, 1, 6, 5)
+	x := dense.Random(rng, 5, 1).Data
+	want := make([]complex64, 6)
+	k.Mats[0].MulVec(x, want)
+
+	// workers far beyond nf must not deadlock or duplicate work
+	op := &FreqOperator{K: k, Workers: 16}
+	y := make([]complex64, 6)
+	if err := op.ApplyChecked(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("element %d: %v vs %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestFreqOperatorShortVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	k := randKernel(rng, 3, 4, 5)
+	op := &FreqOperator{K: k}
+	x := make([]complex64, op.Cols())
+	y := make([]complex64, op.Rows())
+
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"short forward input", op.ApplyChecked(x[:len(x)-1], y)},
+		{"short forward output", op.ApplyChecked(x, y[:len(y)-1])},
+		{"short adjoint input", op.ApplyAdjointChecked(y[:len(y)-1], x)},
+		{"short adjoint output", op.ApplyAdjointChecked(y, x[:len(x)-1])},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestShardedOperatorShortVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	k := randKernel(rng, 3, 4, 5)
+	op, err := NewShardedFreqOperator(k, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex64, op.Cols())
+	y := make([]complex64, op.Rows())
+	if err := op.Apply(x[:len(x)-1], y); err == nil {
+		t.Error("short forward input: no error")
+	}
+	if err := op.ApplyAdjoint(y, x[:len(x)-1]); err == nil {
+		t.Error("short adjoint output: no error")
+	}
+}
+
+func TestCheckedKernelBadFrequency(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	k := randKernel(rng, 2, 4, 3)
+	x := make([]complex64, 3)
+	y := make([]complex64, 4)
+	for _, f := range []int{-1, 2, 100} {
+		if err := k.ApplyChecked(f, x, y); err == nil || !strings.Contains(err.Error(), "frequency") {
+			t.Errorf("frequency %d: err = %v, want frequency-range error", f, err)
+		}
+		if err := k.ApplyAdjointChecked(f, y, x); err == nil {
+			t.Errorf("adjoint frequency %d: no error", f)
+		}
+	}
+}
+
+func TestCheckedKernelShortVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	k := randKernel(rng, 2, 4, 3)
+	if err := k.ApplyChecked(0, make([]complex64, 2), make([]complex64, 4)); err == nil {
+		t.Error("short input accepted")
+	}
+	if err := k.ApplyChecked(0, make([]complex64, 3), make([]complex64, 3)); err == nil {
+		t.Error("short output accepted")
+	}
+	// adjoint swaps the roles: input must be Rows-long, output Cols-long
+	if err := k.ApplyAdjointChecked(0, make([]complex64, 3), make([]complex64, 3)); err == nil {
+		t.Error("short adjoint input accepted")
+	}
+	if err := k.ApplyAdjointChecked(0, make([]complex64, 4), make([]complex64, 2)); err == nil {
+		t.Error("short adjoint output accepted")
+	}
+}
+
+func TestFreqOperatorWorkersExceedFrequencies(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	nf, rows, cols := 2, 5, 4
+	k := randKernel(rng, nf, rows, cols)
+	x := dense.Random(rng, nf*cols, 1).Data
+	ref := make([]complex64, nf*rows)
+	(&FreqOperator{K: k, Workers: 1}).Apply(x, ref)
+	for _, workers := range []int{3, 7, 64} {
+		op := &FreqOperator{K: k, Workers: workers}
+		y := make([]complex64, nf*rows)
+		op.Apply(x, y)
+		for i := range ref {
+			if y[i] != ref[i] {
+				t.Fatalf("workers=%d: element %d differs", workers, i)
+			}
+		}
+	}
+}

@@ -44,6 +44,40 @@ type Kernel interface {
 	Bytes() int64
 }
 
+// CheckedKernel is the fallible kernel surface the fault-tolerant
+// execution stack is built on: the same per-frequency products, but a
+// bad frequency index, a short vector, or a shard-level fault comes back
+// as an error the scheduler can retry or fail over, never as a panic
+// that takes the whole fan-out down. Both built-in kernels implement it;
+// fault-injection wrappers (internal/fault) preserve it.
+type CheckedKernel interface {
+	Kernel
+	// ApplyChecked computes y = K_f x, reporting invalid inputs or
+	// execution faults as errors.
+	ApplyChecked(f int, x, y []complex64) error
+	// ApplyAdjointChecked computes y = K_fᴴ x likewise.
+	ApplyAdjointChecked(f int, x, y []complex64) error
+}
+
+// checkKernelArgs validates a per-frequency product's arguments against
+// the kernel's shape.
+func checkKernelArgs(k Kernel, f int, x, y []complex64, adjoint bool) error {
+	if f < 0 || f >= k.NumFreqs() {
+		return fmt.Errorf("mdc: frequency %d outside [0,%d)", f, k.NumFreqs())
+	}
+	nin, nout := k.Cols(), k.Rows()
+	if adjoint {
+		nin, nout = nout, nin
+	}
+	if len(x) < nin {
+		return fmt.Errorf("mdc: frequency %d input has %d elements, want %d", f, len(x), nin)
+	}
+	if len(y) < nout {
+		return fmt.Errorf("mdc: frequency %d output has %d elements, want %d", f, len(y), nout)
+	}
+	return nil
+}
+
 // DenseKernel wraps a stack of dense frequency matrices.
 type DenseKernel struct {
 	Mats []*dense.Matrix
@@ -77,6 +111,24 @@ func (k *DenseKernel) Apply(f int, x, y []complex64) { k.Mats[f].MulVec(x, y) }
 
 // ApplyAdjoint implements Kernel.
 func (k *DenseKernel) ApplyAdjoint(f int, x, y []complex64) { k.Mats[f].MulVecConjTrans(x, y) }
+
+// ApplyChecked implements CheckedKernel.
+func (k *DenseKernel) ApplyChecked(f int, x, y []complex64) error {
+	if err := checkKernelArgs(k, f, x, y, false); err != nil {
+		return err
+	}
+	k.Mats[f].MulVec(x, y)
+	return nil
+}
+
+// ApplyAdjointChecked implements CheckedKernel.
+func (k *DenseKernel) ApplyAdjointChecked(f int, x, y []complex64) error {
+	if err := checkKernelArgs(k, f, x, y, true); err != nil {
+		return err
+	}
+	k.Mats[f].MulVecConjTrans(x, y)
+	return nil
+}
 
 // Bytes implements Kernel.
 func (k *DenseKernel) Bytes() int64 {
@@ -122,6 +174,24 @@ func (k *TLRKernel) Apply(f int, x, y []complex64) { k.Mats[f].MulVec(x, y) }
 // ApplyAdjoint implements Kernel.
 func (k *TLRKernel) ApplyAdjoint(f int, x, y []complex64) { k.Mats[f].MulVecConjTrans(x, y) }
 
+// ApplyChecked implements CheckedKernel.
+func (k *TLRKernel) ApplyChecked(f int, x, y []complex64) error {
+	if err := checkKernelArgs(k, f, x, y, false); err != nil {
+		return err
+	}
+	k.Mats[f].MulVec(x, y)
+	return nil
+}
+
+// ApplyAdjointChecked implements CheckedKernel.
+func (k *TLRKernel) ApplyAdjointChecked(f int, x, y []complex64) error {
+	if err := checkKernelArgs(k, f, x, y, true); err != nil {
+		return err
+	}
+	k.Mats[f].MulVecConjTrans(x, y)
+	return nil
+}
+
 // Bytes implements Kernel.
 func (k *TLRKernel) Bytes() int64 {
 	var b int64
@@ -149,30 +219,55 @@ func (op *FreqOperator) Rows() int { return op.K.NumFreqs() * op.K.Rows() }
 // Cols implements lsqr.Operator: total model length nf·nrec.
 func (op *FreqOperator) Cols() int { return op.K.NumFreqs() * op.K.Cols() }
 
-// Apply implements lsqr.Operator.
+// Apply implements lsqr.Operator. It panics on invalid vectors; callers
+// that need error propagation (the fault-tolerant stack) use
+// ApplyChecked instead.
 func (op *FreqOperator) Apply(x, y []complex64) {
-	op.run(x, y, false)
+	if err := op.run(x, y, false); err != nil {
+		panic(err)
+	}
 }
 
-// ApplyAdjoint implements lsqr.Operator.
+// ApplyAdjoint implements lsqr.Operator. It panics on invalid vectors;
+// the fallible variant is ApplyAdjointChecked.
 func (op *FreqOperator) ApplyAdjoint(x, y []complex64) {
-	op.run(x, y, true)
+	if err := op.run(x, y, true); err != nil {
+		panic(err)
+	}
 }
 
-func (op *FreqOperator) run(x, y []complex64, adjoint bool) {
+// ApplyChecked computes y = K x, reporting short vectors and
+// per-frequency kernel faults as errors instead of panicking — the
+// entry point the fault-tolerant execution stack calls.
+func (op *FreqOperator) ApplyChecked(x, y []complex64) error {
+	return op.run(x, y, false)
+}
+
+// ApplyAdjointChecked computes y = Kᴴ x with error propagation.
+func (op *FreqOperator) ApplyAdjointChecked(x, y []complex64) error {
+	return op.run(x, y, true)
+}
+
+func (op *FreqOperator) run(x, y []complex64, adjoint bool) error {
 	if adjoint {
 		defer obsFreqAdjoint.Start().End()
 	} else {
 		defer obsFreqApply.Start().End()
 	}
 	nf := op.K.NumFreqs()
+	if nf == 0 {
+		return nil // zero-dimensional operator: nothing to apply
+	}
 	obsFreqCount.Add(int64(nf))
 	nin, nout := op.K.Cols(), op.K.Rows()
 	if adjoint {
 		nin, nout = nout, nin
 	}
-	if len(x) < nf*nin || len(y) < nf*nout {
-		panic("mdc: FreqOperator vector too short")
+	if len(x) < nf*nin {
+		return fmt.Errorf("mdc: FreqOperator input has %d elements, want %d", len(x), nf*nin)
+	}
+	if len(y) < nf*nout {
+		return fmt.Errorf("mdc: FreqOperator output has %d elements, want %d", len(y), nf*nout)
 	}
 	scale := complex(op.Scale, 0)
 	if op.Scale == 0 {
@@ -182,6 +277,8 @@ func (op *FreqOperator) run(x, y []complex64, adjoint bool) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	ck, checked := op.K.(CheckedKernel)
+	errs := make([]error, nf)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	for f := 0; f < nf; f++ {
@@ -192,12 +289,17 @@ func (op *FreqOperator) run(x, y []complex64, adjoint bool) {
 			defer func() { <-sem }()
 			xf := x[f*nin : (f+1)*nin]
 			yf := y[f*nout : (f+1)*nout]
-			if adjoint {
+			switch {
+			case checked && adjoint:
+				errs[f] = ck.ApplyAdjointChecked(f, xf, yf)
+			case checked:
+				errs[f] = ck.ApplyChecked(f, xf, yf)
+			case adjoint:
 				op.K.ApplyAdjoint(f, xf, yf)
-			} else {
+			default:
 				op.K.Apply(f, xf, yf)
 			}
-			if scale != 1 {
+			if errs[f] == nil && scale != 1 {
 				for i := range yf {
 					yf[i] *= scale
 				}
@@ -205,6 +307,12 @@ func (op *FreqOperator) run(x, y []complex64, adjoint bool) {
 		}(f)
 	}
 	wg.Wait()
+	for f, err := range errs {
+		if err != nil {
+			return fmt.Errorf("mdc: frequency %d: %w", f, err)
+		}
+	}
+	return nil
 }
 
 // TimeOperator is the literal Eqn. (2) composition A = Sᴴ K S over complex
@@ -239,26 +347,27 @@ func (op *TimeOperator) getPlan() *fft.Plan {
 	return op.plan
 }
 
-// Apply implements lsqr.Operator.
+// Apply implements lsqr.Operator. Its vector space (channels × Nt) does
+// not match the oracle matrix, and it is covered by this package's
+// round-trip and adjoint tests.
 //
-//lint:oracle-exempt time-domain wrapper over the registered FreqOperator; its
-// vector space (channels × Nt) does not match the oracle matrix, and it is
-// covered by this package's round-trip and adjoint tests
+//lint:oracle-exempt time-domain wrapper over the registered FreqOperator
 func (op *TimeOperator) Apply(x, y []complex64) { op.run(x, y, false) }
 
-// ApplyAdjoint implements lsqr.Operator.
+// ApplyAdjoint implements lsqr.Operator. Its vector space (channels ×
+// Nt) does not match the oracle matrix, and it is covered by this
+// package's round-trip and adjoint tests.
 //
-//lint:oracle-exempt time-domain wrapper over the registered FreqOperator; its
-// vector space (channels × Nt) does not match the oracle matrix, and it is
-// covered by this package's round-trip and adjoint tests
+//lint:oracle-exempt time-domain wrapper over the registered FreqOperator
 func (op *TimeOperator) ApplyAdjoint(x, y []complex64) { op.run(x, y, true) }
 
 // AnalyzeTime applies the S stage standalone: channel-major time traces
 // in x (nchan × Nt) are transformed to frequency-major in-band panels in
 // out (nf × nchan) with the unitary forward scaling.
 //
-//lint:oracle-exempt DFT sampling stage, not an MVM path; its unitarity is
-// checked by this package's round-trip tests
+// Its unitarity is checked by this package's round-trip tests.
+//
+//lint:oracle-exempt DFT sampling stage, not an MVM path
 func (op *TimeOperator) AnalyzeTime(x, out []complex64, nchan int) {
 	if len(x) < nchan*op.Nt || len(out) < len(op.FreqIdx)*nchan {
 		panic("mdc: AnalyzeTime buffer too short")
@@ -282,8 +391,9 @@ func (op *TimeOperator) AnalyzeTime(x, out []complex64, nchan int) {
 // panels in x (nf × nchan) become channel-major time traces in out
 // (nchan × Nt) with the unitary inverse scaling.
 //
-//lint:oracle-exempt DFT sampling stage, not an MVM path; its unitarity is
-// checked by this package's round-trip tests
+// Its unitarity is checked by this package's round-trip tests.
+//
+//lint:oracle-exempt DFT sampling stage, not an MVM path
 func (op *TimeOperator) SynthesizeTime(x, out []complex64, nchan int) {
 	if len(x) < len(op.FreqIdx)*nchan || len(out) < nchan*op.Nt {
 		panic("mdc: SynthesizeTime buffer too short")

@@ -1,0 +1,122 @@
+// Sharded MDC execution: the paper's headline configuration fans the
+// per-frequency TLR-MVMs out over 48 CS-2 systems (§7). Here the same
+// fan-out runs over N simulated shards through batch.ShardRunner, which
+// retries transient faults and re-shards a dead shard's frequencies onto
+// the survivors. Because every frequency writes a disjoint output slice
+// and the per-frequency product is independent of which shard computes
+// it, a degraded run returns bitwise the same answer as a healthy one.
+package mdc
+
+import (
+	"fmt"
+
+	"repro/internal/batch"
+	"repro/internal/obs"
+)
+
+// Sharded-operator timers, distinct from the in-process FreqOperator
+// timers so degraded-capacity throughput is visible per execution path.
+var (
+	obsShardedApply   = obs.NewTimer("mdc.sharded.apply")
+	obsShardedAdjoint = obs.NewTimer("mdc.sharded.adjoint")
+)
+
+// ShardedFreqOperator is the fault-tolerant sibling of FreqOperator:
+// identical math (one scaled kernel MVM per in-band frequency,
+// frequency-major layout), but each frequency is a batch.ShardTask
+// scheduled onto simulated CS-2 shards, and all faults surface as
+// errors. It satisfies lsqr.FallibleOperator.
+type ShardedFreqOperator struct {
+	K     CheckedKernel
+	Scale float32
+	// Runner owns shard health across calls: a shard that dies during
+	// Apply stays dead for the following ApplyAdjoint, like a failed
+	// physical system.
+	Runner *batch.ShardRunner
+	// Intercept, when non-nil, wraps the per-task executor — the hook
+	// fault-injection schedules (internal/fault) attach to.
+	Intercept func(batch.ShardExec) batch.ShardExec
+}
+
+// NewShardedFreqOperator builds the operator with a fresh runner of the
+// given shard count and default retry policy.
+func NewShardedFreqOperator(k CheckedKernel, scale float32, shards int) (*ShardedFreqOperator, error) {
+	r, err := batch.NewShardRunner(batch.ShardOptions{Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedFreqOperator{K: k, Scale: scale, Runner: r}, nil
+}
+
+// Rows implements lsqr.FallibleOperator: total data length nf·nsrc.
+func (op *ShardedFreqOperator) Rows() int { return op.K.NumFreqs() * op.K.Rows() }
+
+// Cols implements lsqr.FallibleOperator: total model length nf·nrec.
+func (op *ShardedFreqOperator) Cols() int { return op.K.NumFreqs() * op.K.Cols() }
+
+// Apply computes y = K x across the shard set, retrying and failing
+// over per the runner's policy; an unrecoverable fault is returned.
+func (op *ShardedFreqOperator) Apply(x, y []complex64) error {
+	return op.run(x, y, false)
+}
+
+// ApplyAdjoint computes y = Kᴴ x likewise.
+func (op *ShardedFreqOperator) ApplyAdjoint(x, y []complex64) error {
+	return op.run(x, y, true)
+}
+
+func (op *ShardedFreqOperator) run(x, y []complex64, adjoint bool) error {
+	if adjoint {
+		defer obsShardedAdjoint.Start().End()
+	} else {
+		defer obsShardedApply.Start().End()
+	}
+	nf := op.K.NumFreqs()
+	if nf == 0 {
+		return nil // zero-dimensional operator: nothing to apply
+	}
+	obsFreqCount.Add(int64(nf))
+	nin, nout := op.K.Cols(), op.K.Rows()
+	if adjoint {
+		nin, nout = nout, nin
+	}
+	if len(x) < nf*nin {
+		return fmt.Errorf("mdc: sharded input has %d elements, want %d", len(x), nf*nin)
+	}
+	if len(y) < nf*nout {
+		return fmt.Errorf("mdc: sharded output has %d elements, want %d", len(y), nf*nout)
+	}
+	scale := complex(op.Scale, 0)
+	if op.Scale == 0 {
+		scale = 1
+	}
+	tasks := make([]batch.ShardTask, nf)
+	for f := 0; f < nf; f++ {
+		tasks[f] = batch.ShardTask{
+			ID: f,
+			X:  x[f*nin : (f+1)*nin],
+			Y:  y[f*nout : (f+1)*nout],
+		}
+	}
+	exec := func(shard int, t batch.ShardTask) error {
+		var err error
+		if adjoint {
+			err = op.K.ApplyAdjointChecked(t.ID, t.X, t.Y)
+		} else {
+			err = op.K.ApplyChecked(t.ID, t.X, t.Y)
+		}
+		if err != nil {
+			return err
+		}
+		if scale != 1 {
+			for i := range t.Y {
+				t.Y[i] *= scale
+			}
+		}
+		return nil
+	}
+	if op.Intercept != nil {
+		exec = op.Intercept(exec)
+	}
+	return op.Runner.Run(tasks, exec)
+}

@@ -1,0 +1,93 @@
+package mdd
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/lsqr"
+)
+
+// dyingOp fails every product from invocation failFrom on — a fault no
+// number of restarts can outrun.
+type dyingOp struct {
+	op       lsqr.Operator
+	failFrom int
+	count    int
+}
+
+func (d *dyingOp) Rows() int { return d.op.Rows() }
+func (d *dyingOp) Cols() int { return d.op.Cols() }
+func (d *dyingOp) Apply(x, y []complex64) error {
+	d.count++
+	if d.count >= d.failFrom {
+		return errors.New("persistent fault")
+	}
+	d.op.Apply(x, y)
+	return nil
+}
+func (d *dyingOp) ApplyAdjoint(x, y []complex64) error {
+	d.count++
+	if d.count >= d.failFrom {
+		return errors.New("persistent fault")
+	}
+	d.op.ApplyAdjoint(x, y)
+	return nil
+}
+
+func resilientProblem(seed int64, m, n int) (lsqr.Operator, []complex64) {
+	rng := rand.New(rand.NewSource(seed))
+	a := dense.Random(rng, m, n)
+	b := dense.Random(rng, m, 1).Data
+	return &lsqr.MatOperator{M: m, N: n, Fwd: a.MulVec, Adj: a.MulVecConjTrans}, b
+}
+
+func TestInvertResilientGivesUpAfterMaxRestarts(t *testing.T) {
+	op, b := resilientProblem(101, 12, 8)
+	dying := &dyingOp{op: op, failFrom: 6}
+	out, err := InvertResilient(dying, b, ResilientOptions{
+		LSQR:        lsqr.Options{MaxIters: 10},
+		MaxRestarts: 2,
+	})
+	if err == nil || out != nil {
+		t.Fatalf("persistent fault should exhaust restarts (out=%v err=%v)", out, err)
+	}
+	if !strings.Contains(err.Error(), "gave up after 2 restarts") {
+		t.Errorf("err = %v, want restart count in message", err)
+	}
+	if !strings.Contains(err.Error(), "persistent fault") {
+		t.Errorf("err = %v, want the underlying fault wrapped", err)
+	}
+}
+
+func TestInvertResilientZeroRHS(t *testing.T) {
+	op, _ := resilientProblem(102, 10, 7)
+	out, err := InvertResilient(lsqr.Fallible{Op: op}, make([]complex64, 10), ResilientOptions{
+		LSQR: lsqr.Options{MaxIters: 5},
+	})
+	if !errors.Is(err, lsqr.ErrZeroRHS) {
+		t.Fatalf("err = %v, want ErrZeroRHS", err)
+	}
+	if out == nil || out.Result == nil || !out.Result.Converged {
+		t.Error("zero RHS should pass through with its trivial converged result")
+	}
+}
+
+func TestShardedOperatorRejectsUncheckedKernel(t *testing.T) {
+	p := &Problem{K: uncheckedKernel{}}
+	if _, err := p.ShardedOperator(2); err == nil {
+		t.Error("kernel without checked products should be rejected")
+	}
+}
+
+// uncheckedKernel implements only the panicking mdc.Kernel surface.
+type uncheckedKernel struct{}
+
+func (uncheckedKernel) NumFreqs() int                        { return 1 }
+func (uncheckedKernel) Rows() int                            { return 1 }
+func (uncheckedKernel) Cols() int                            { return 1 }
+func (uncheckedKernel) Apply(f int, x, y []complex64)        {}
+func (uncheckedKernel) ApplyAdjoint(f int, x, y []complex64) {}
+func (uncheckedKernel) Bytes() int64                         { return 0 }

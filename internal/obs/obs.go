@@ -300,6 +300,28 @@ type Snapshot struct {
 	Gauges   []GaugeStat   `json:"gauges,omitempty"`
 }
 
+// Counter returns the snapshotted value of the named counter, or 0 if
+// it never recorded anything (snapshots skip idle metrics).
+func (s Snapshot) Counter(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the snapshotted value of the named gauge and whether it
+// was set.
+func (s Snapshot) Gauge(name string) (int64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
 // TakeSnapshot copies the current state of every registered metric.
 // Metrics that never recorded anything are skipped so snapshots only
 // carry the stages a run actually exercised.

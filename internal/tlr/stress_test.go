@@ -1,0 +1,59 @@
+// Concurrency stress test for the batched TLR-MVM path, meant to run
+// under -race (`make race-stress`): many goroutines sharing one
+// compressed matrix, each driving MulVecBatched at a different worker
+// count. Guarded by testing.Short so quick suites skip it.
+package tlr
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cfloat"
+	"repro/internal/dense"
+)
+
+func TestStressMulVecBatchedConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; run via make race-stress")
+	}
+	rng := rand.New(rand.NewSource(81))
+	a := decayMatrix(rng, 96, 80)
+	tm := compressOrDie(t, a, Options{NB: 16, Tol: 1e-4})
+	x := dense.Random(rng, 80, 1).Data
+	yRef := make([]complex64, 96)
+	tm.MulVec(x, yRef)
+	refNorm := 1 + cfloat.Nrm2(yRef)
+
+	const rounds = 10
+	workerCounts := []int{1, 2, 3, 4, 8}
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		errs := make([]error, len(workerCounts))
+		for i, workers := range workerCounts {
+			wg.Add(1)
+			go func(i, workers int) {
+				defer wg.Done()
+				y := make([]complex64, 96)
+				if err := tm.MulVecBatched(x, y, workers); err != nil {
+					errs[i] = err
+					return
+				}
+				diff := make([]complex64, len(y))
+				for j := range diff {
+					diff[j] = y[j] - yRef[j]
+				}
+				if rel := cfloat.Nrm2(diff) / refNorm; rel > 1e-5 {
+					errs[i] = fmt.Errorf("workers=%d: batched result drifted (rel %g)", workers, rel)
+				}
+			}(i, workers)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
