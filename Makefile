@@ -14,7 +14,8 @@ FUZZ_TARGETS = \
 	internal/precision:FuzzBF16RoundTrip \
 	internal/tlrio:FuzzRead \
 	internal/lsqr:FuzzCheckpointDecode \
-	internal/cgls:FuzzCheckpointDecode
+	internal/cgls:FuzzCheckpointDecode \
+	internal/analysis:FuzzCFGBuild
 
 FUZZTIME ?= 10s
 
@@ -68,10 +69,14 @@ bench-compare: bench-json
 # once under `go vet -vettool` (per-package analyzers) and once
 # standalone (whole-module analyzers such as oraclereg).
 
-repolint:
+REPOLINT_SRCS := $(wildcard cmd/repolint/*.go internal/analysis/*.go)
+
+bin/repolint: $(REPOLINT_SRCS)
 	$(GO) build -o bin/repolint ./cmd/repolint
 
-lint: vet repolint
+repolint: bin/repolint
+
+lint: vet bin/repolint
 	$(GO) vet -vettool=$(CURDIR)/bin/repolint ./...
 	./bin/repolint ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \

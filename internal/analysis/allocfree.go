@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocFree proves the marked kernel hot loops allocation-free. The
+// paper's §6.5–§6.7 performance model treats the TLR-MVM inner loops as
+// steady-state compute; a single hidden allocation (an append growth, an
+// escaping composite literal, interface boxing on a call argument, a
+// closure) adds GC traffic the cycle model does not account for and
+// shifts the PR 2 benchmark gate. Any function carrying a //lint:hotpath
+// marker — plus the seeded registry in hotpath.go covering the TLR-MVM
+// kernel loops — must not contain:
+//
+//   - make/new or append (append may grow past the preallocated cap)
+//   - slice/map/chan composite literals, or address-taken composite
+//     literals (both heap-allocate when they escape)
+//   - interface conversions (boxing) at call arguments, assignments,
+//     returns, or channel sends
+//   - fmt calls, function literals (closures), go statements, variadic
+//     calls, string/[]byte conversions
+//   - defer inside a loop (deferred frames heap-allocate per iteration)
+//
+// Statements in CFG-dead blocks (after an unconditional return/break)
+// are skipped. Escape hatch: a //lint:alloc-ok <reason> comment on (or
+// directly above) the offending line.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc: "require //lint:hotpath-marked and registry-seeded kernel loops to be " +
+		"provably allocation-free (escape: //lint:alloc-ok <reason>)",
+	Run: runAllocFree,
+}
+
+func runAllocFree(pass *Pass) error {
+	seeds := seedsForPath(pass.Path)
+	seedByName := map[string]HotPathSeed{}
+	for _, s := range seeds {
+		seedByName[s.Func] = s
+	}
+	foundSeeds := map[string]bool{}
+	allTestFiles := true
+
+	for _, file := range pass.Files {
+		isTest := pass.IsTestFile(file.Pos())
+		if !isTest {
+			allTestFiles = false
+		}
+		okLines := markerLines(pass.Fset, file, "alloc-ok")
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := funcDeclName(fn)
+			_, seeded := seedByName[name]
+			marked := docHasMarker(fn.Doc, "hotpath")
+			if seeded && !isTest {
+				foundSeeds[name] = true
+				if !marked {
+					pass.Reportf(fn.Name.Pos(),
+						"registered hot path %s must carry a //lint:hotpath marker (see internal/analysis/hotpath.go)", name)
+				}
+			}
+			if marked || seeded {
+				checkAllocFree(pass, fn, okLines)
+			}
+		}
+	}
+
+	// Drift guard: a seed whose function disappeared means the registry
+	// (and the runtime AllocsPerRun gate keyed on it) is stale. External
+	// test packages share the import-path suffix but none of the code, so
+	// they are exempt.
+	if !allTestFiles && len(pass.Files) > 0 {
+		for _, s := range seeds {
+			if !foundSeeds[s.Func] {
+				pass.Reportf(pass.Files[0].Name.Pos(),
+					"hot-path registry names %s.%s but no such function exists; update internal/analysis/hotpath.go", s.Pkg, s.Func)
+			}
+		}
+	}
+	return nil
+}
+
+// funcDeclName renders a declaration as "Name" or "Recv.Name" with
+// pointers and type parameters stripped from the receiver.
+func funcDeclName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.ParenExpr:
+			t = tt.X
+		default:
+			if id, ok := t.(*ast.Ident); ok {
+				return id.Name + "." + fn.Name.Name
+			}
+			return fn.Name.Name
+		}
+	}
+}
+
+type allocChecker struct {
+	pass     *Pass
+	okLines  map[int]bool
+	results  *ast.FieldList // enclosing function results, for return boxing
+	reported map[token.Pos]bool
+}
+
+func (c *allocChecker) report(pos token.Pos, format string, args ...any) {
+	if c.reported[pos] || c.okLines[c.pass.Fset.Position(pos).Line] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+func checkAllocFree(pass *Pass, fn *ast.FuncDecl, okLines map[int]bool) {
+	c := &allocChecker{pass: pass, okLines: okLines, results: fn.Type.Results, reported: map[token.Pos]bool{}}
+	cfg := BuildCFG(fn.Body)
+	for _, b := range cfg.Blocks {
+		if b.Dead {
+			continue
+		}
+		for _, s := range b.Stmts {
+			c.checkStmt(s)
+		}
+		if b.Cond != nil {
+			c.checkExpr(b.Cond)
+		}
+	}
+	// defer-in-loop needs lexical loop context, which the flattened CFG
+	// blocks no longer carry; one shallow AST pass finds them.
+	var stack []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if d, ok := n.(*ast.DeferStmt); ok && loopDepth(stack) > 0 {
+			c.report(d.Pos(), "defer inside a loop allocates a deferred frame per iteration")
+		}
+		stack = append(stack, n)
+		return !isFuncLit(n)
+	})
+}
+
+func isFuncLit(n ast.Node) bool {
+	_, ok := n.(*ast.FuncLit)
+	return ok
+}
+
+func (c *allocChecker) checkStmt(s ast.Stmt) {
+	info := c.pass.TypesInfo
+	switch s := s.(type) {
+	case *ast.GoStmt:
+		c.report(s.Pos(), "go statement allocates a goroutine in a hot path")
+	case *ast.AssignStmt:
+		// boxing on 1:1 assignment
+		if len(s.Lhs) == len(s.Rhs) {
+			for i := range s.Lhs {
+				lt := info.TypeOf(s.Lhs[i])
+				if lt == nil {
+					if id, ok := s.Lhs[i].(*ast.Ident); ok && info.Defs[id] != nil {
+						lt = info.Defs[id].Type()
+					}
+				}
+				c.checkBoxing(lt, s.Rhs[i], "assignment")
+			}
+		}
+	case *ast.ReturnStmt:
+		if c.results != nil && len(s.Results) == c.results.NumFields() {
+			i := 0
+			for _, f := range c.results.List {
+				n := len(f.Names)
+				if n == 0 {
+					n = 1
+				}
+				for k := 0; k < n && i < len(s.Results); k++ {
+					c.checkBoxing(info.TypeOf(f.Type), s.Results[i], "return")
+					i++
+				}
+			}
+		}
+	case *ast.SendStmt:
+		if ct, ok := typeUnder(info.TypeOf(s.Chan)).(*types.Chan); ok {
+			c.checkBoxing(ct.Elem(), s.Value, "channel send")
+		}
+	}
+	for _, e := range stmtExprs(nil, s) {
+		c.checkExpr(e)
+	}
+}
+
+// checkBoxing reports a concrete value converted to an interface — the
+// boxing heap-allocates (or at best copies through the runtime's
+// conversion caches) on every execution.
+func (c *allocChecker) checkBoxing(to types.Type, val ast.Expr, where string) {
+	if to == nil || !types.IsInterface(to) {
+		return
+	}
+	vt := c.pass.TypesInfo.TypeOf(val)
+	if vt == nil || types.IsInterface(vt) {
+		return
+	}
+	if b, ok := vt.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	c.report(val.Pos(), "interface conversion (boxing) at %s allocates in a hot path", where)
+}
+
+func (c *allocChecker) checkExpr(e ast.Expr) {
+	info := c.pass.TypesInfo
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.report(n.Pos(), "function literal allocates a closure in a hot path")
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.report(n.Pos(), "address-taken composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			switch typeUnder(info.TypeOf(n)).(type) {
+			case *types.Slice, *types.Map, *types.Chan:
+				c.report(n.Pos(), "slice/map/chan composite literal allocates in a hot path")
+			}
+		case *ast.CallExpr:
+			c.checkCall(n)
+		}
+		return true
+	})
+}
+
+func (c *allocChecker) checkCall(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	// type conversions: string/[]byte round-trips copy and allocate
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		switch typeUnder(tv.Type).(type) {
+		case *types.Slice:
+			c.report(call.Pos(), "conversion to a slice type allocates")
+		case *types.Basic:
+			if b := typeUnder(tv.Type).(*types.Basic); b.Info()&types.IsString != 0 {
+				if at := info.TypeOf(call.Args[0]); at != nil {
+					if _, isSlice := typeUnder(at).(*types.Slice); isSlice {
+						c.report(call.Pos(), "[]byte-to-string conversion allocates")
+					}
+				}
+			}
+		case *types.Interface:
+			c.checkBoxing(tv.Type, call.Args[0], "conversion")
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				c.report(call.Pos(), "append may grow its backing array in a hot path")
+			case "make":
+				c.report(call.Pos(), "make allocates in a hot path")
+			case "new":
+				c.report(call.Pos(), "new allocates in a hot path")
+			}
+			return
+		}
+	}
+	if fn := calleeFunc(info, call); fn != nil && funcPkgPath(fn) == "fmt" {
+		c.report(call.Pos(), "fmt.%s allocates (formatting machinery) in a hot path", fn.Name())
+		return
+	}
+	// interface boxing and variadic-slice allocation at call arguments
+	sig, ok := typeUnder(info.TypeOf(call.Fun)).(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		if sig.Variadic() && i >= np-1 {
+			if call.Ellipsis == token.NoPos {
+				c.report(arg.Pos(), "variadic call allocates its argument slice in a hot path")
+				break
+			}
+			break
+		}
+		if i < np {
+			c.checkBoxing(sig.Params().At(i).Type(), arg, "call argument")
+		}
+	}
+}
+
+// typeUnder returns the underlying type, tolerating nil.
+func typeUnder(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}

@@ -1,6 +1,6 @@
 // Package analysis is the repo's domain-invariant static analysis suite:
 // a small, dependency-free framework in the shape of golang.org/x/tools'
-// go/analysis, plus five analyzers that turn this repo's correctness
+// go/analysis, plus eight analyzers that turn this repo's correctness
 // conventions into compiler-checked rules. The conventions exist because
 // the continuous-benchmarking gate (internal/benchreport) and the
 // §6.5–§6.7 cycle/meter invariants treat the machine-model outputs as
@@ -8,7 +8,13 @@
 // accumulator, or an execution path that never reaches the differential
 // oracle all break guarantees the test suite is built on.
 //
-// The five analyzers (see their files for the precise rules):
+// Five analyzers are syntactic (single-statement AST pattern matches);
+// three — allocfree, faultflow, lockorder — run on the intra-procedural
+// dataflow engine in cfg.go/dataflow.go: a CFG built from function
+// bodies, a must-reach-a-use analysis for error values, and a forward
+// held-lock-set propagation.
+//
+// The analyzers (see their files for the precise rules):
 //
 //   - modeldeterminism: no wall-clock, global rand, env reads, or
 //     map-iteration-order-dependent accumulation in the deterministic
@@ -21,8 +27,15 @@
 //   - oraclereg: every exported MulVec-shaped kernel entry point must be
 //     referenced from the internal/testkit differential oracle
 //     (escape: //lint:oracle-exempt).
-//   - seededrand: test/bench/testkit RNGs must be explicitly and
+//   - seededrand: test/bench/testkit/cmd RNGs must be explicitly and
 //     deterministically seeded.
+//   - allocfree: //lint:hotpath-marked and registry-seeded kernel loops
+//     must be provably allocation-free (escape: //lint:alloc-ok).
+//   - faultflow: errors from internal/fault, internal/ckpt,
+//     SolveFallible, and CheckedKernel calls must reach a check on every
+//     CFG path (escape: //lint:err-ok).
+//   - lockorder: no mutex held across channel operations or ShardRunner
+//     dispatch in internal/batch and internal/obs (escape: //lint:lock-ok).
 //
 // cmd/repolint drives the suite both standalone (whole-module, source
 // type-checked) and as a `go vet -vettool` unitchecker. The framework is
@@ -121,6 +134,9 @@ func All() []*Analyzer {
 		PrecWiden,
 		OracleReg,
 		SeededRand,
+		AllocFree,
+		FaultFlow,
+		LockOrder,
 	}
 }
 
@@ -178,6 +194,24 @@ func pathMatches(path string, suffixes ...string) bool {
 		if path == s || strings.HasSuffix(path, "/"+s) {
 			return true
 		}
+	}
+	return false
+}
+
+// hasPathSegment reports whether the normalized import path contains
+// seg as a whole "/"-delimited segment ("repro/cmd/mddrun" contains
+// "cmd"; "repro/internal/cmdutil" does not).
+func hasPathSegment(path, seg string) bool {
+	path = normalizePath(path)
+	for path != "" {
+		next := ""
+		if i := strings.IndexByte(path, '/'); i >= 0 {
+			path, next = path[:i], path[i+1:]
+		}
+		if path == seg {
+			return true
+		}
+		path = next
 	}
 	return false
 }

@@ -7,17 +7,19 @@ import (
 )
 
 // SeededRand keeps randomness in the correctness infrastructure
-// reproducible: inside internal/testkit, internal/fault, and any
-// _test.go file (benchmarks and fuzz seed corpus construction
-// included), RNGs must be explicitly and deterministically seeded.
-// Global math/rand draws (the shared source) and time-derived seeds
-// both make a failing trial unreproducible, which defeats the
+// reproducible: inside internal/testkit, internal/fault, the cmd/...
+// drivers, and any _test.go file (benchmarks and fuzz seed corpus
+// construction included), RNGs must be explicitly and deterministically
+// seeded. Global math/rand draws (the shared source) and time-derived
+// seeds both make a failing trial unreproducible, which defeats the
 // differential oracle — and a chaos schedule that fires on a
-// nondeterministic draw cannot be replayed at all.
+// nondeterministic draw cannot be replayed at all. The cmd/ drivers are
+// in scope because their runs feed committed artifacts (BENCH_*.json,
+// MDD reports) that must reproduce bit-for-bit.
 var SeededRand = &Analyzer{
 	Name: "seededrand",
 	Doc: "require explicit deterministic seeds for RNGs in internal/testkit, " +
-		"internal/fault, benchmarks, and fuzz seeds (no global math/rand, no time-derived seeds)",
+		"internal/fault, cmd/..., benchmarks, and fuzz seeds (no global math/rand, no time-derived seeds)",
 	TestFiles: true,
 	Run:       runSeededRand,
 }
@@ -30,7 +32,8 @@ var randConstructors = map[string]bool{
 }
 
 func runSeededRand(pass *Pass) error {
-	inTestkit := pathMatches(pass.Path, "internal/testkit") || pathMatches(pass.Path, "internal/fault")
+	inTestkit := pathMatches(pass.Path, "internal/testkit") || pathMatches(pass.Path, "internal/fault") ||
+		hasPathSegment(pass.Path, "cmd")
 	// rand.New(rand.NewSource(bad)) nests two constructors around one
 	// seed expression; report each offending node once.
 	reported := map[token.Pos]bool{}

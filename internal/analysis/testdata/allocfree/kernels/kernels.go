@@ -1,0 +1,129 @@
+// Package kernels exercises the allocfree marker rules: functions
+// carrying //lint:hotpath must be provably allocation-free, with
+// //lint:alloc-ok as the per-line escape. The package path deliberately
+// avoids the seeded-registry suffixes so only the marker drives scope.
+package kernels
+
+import "fmt"
+
+type matrix struct {
+	data []complex64
+	rows int
+}
+
+// axpyHot is a clean hot loop: slicing, arithmetic, and concrete calls
+// only.
+//
+//lint:hotpath
+func axpyHot(alpha complex64, x, y []complex64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// unhoisted is the "scratch-buffer hoist removed" shape: the per-call
+// make that the real kernels hoist into operator structs.
+//
+//lint:hotpath
+func unhoisted(m *matrix, x, y []complex64) {
+	for r := 0; r < m.rows; r++ {
+		out := make([]complex64, m.rows) // want `make allocates in a hot path`
+		copy(out, x)
+		y[r] = out[0]
+	}
+}
+
+// growing appends without a provable cap.
+//
+//lint:hotpath
+func growing(x []complex64) []complex64 {
+	var acc []complex64
+	for _, v := range x {
+		acc = append(acc, v) // want `append may grow its backing array`
+	}
+	return acc
+}
+
+// hoisted uses the escape hatch: the append is known to stay within a
+// preallocated cap.
+//
+//lint:hotpath
+func hoisted(x, scratch []complex64) []complex64 {
+	acc := scratch[:0]
+	for _, v := range x {
+		//lint:alloc-ok scratch cap is preallocated to len(x) by the caller
+		acc = append(acc, v)
+	}
+	return acc
+}
+
+// boxed converts a concrete value to an interface at a call argument
+// and at an assignment.
+//
+//lint:hotpath
+func boxed(x []complex64) {
+	var sink any
+	for i := range x {
+		sink = i // want `interface conversion \(boxing\) at assignment`
+		consume(i) // want `interface conversion \(boxing\) at call argument`
+	}
+	_ = sink
+}
+
+func consume(v any) {}
+
+// closureCapture builds a closure and spawns a goroutine per call.
+//
+//lint:hotpath
+func closureCapture(x []complex64) {
+	f := func() { x[0] = 0 } // want `function literal allocates a closure`
+	go f()                   // want `go statement allocates a goroutine`
+}
+
+// formatted calls fmt and a variadic function in the loop body.
+//
+//lint:hotpath
+func formatted(x []complex64) {
+	for i := range x {
+		fmt.Println(i) // want `fmt\.Println allocates`
+		variadic(i, i) // want `variadic call allocates its argument slice`
+	}
+}
+
+func variadic(vs ...int) {}
+
+// literals allocates through composite literals.
+//
+//lint:hotpath
+func literals(n int) {
+	s := []int{1, 2, 3} // want `slice/map/chan composite literal allocates`
+	p := &matrix{}      // want `address-taken composite literal escapes`
+	_, _ = s, p
+}
+
+// deferred defers inside the loop body.
+//
+//lint:hotpath
+func deferred(x []complex64) {
+	for range x {
+		defer release() // want `defer inside a loop allocates`
+	}
+}
+
+func release() {}
+
+// deadCode allocates only after an unconditional return: the CFG marks
+// the block dead and the analyzer stays silent.
+//
+//lint:hotpath
+func deadCode(x []complex64) []complex64 {
+	return x
+	out := make([]complex64, 1)
+	return out
+}
+
+// unmarked is not a hot path: the same allocations are fine here.
+func unmarked(n int) []complex64 {
+	out := make([]complex64, n)
+	return append(out, 0)
+}

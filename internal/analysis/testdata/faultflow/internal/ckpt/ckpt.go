@@ -1,0 +1,6 @@
+// Package ckpt is a minimal stand-in for the checkpoint codec (path
+// suffix internal/ckpt).
+package ckpt
+
+// Write persists a checkpoint.
+func Write(path string) error { return nil }

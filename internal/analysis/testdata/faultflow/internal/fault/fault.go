@@ -1,0 +1,12 @@
+// Package fault is a minimal stand-in for the real fault-injection
+// layer (path suffix internal/fault): every error it returns is part of
+// the guarded fallible surface.
+package fault
+
+import "errors"
+
+// Inject fires the next scheduled fault.
+func Inject() error { return errors.New("injected") }
+
+// Parse decodes a chaos schedule.
+func Parse(s string) (int, error) { return len(s), nil }

@@ -1,0 +1,15 @@
+package use
+
+import "fixture/internal/fault"
+
+// Chaos-test helpers are in scope too (TestFiles): dropping an injected
+// fault's error inside a test hides exactly the failure the test exists
+// to observe.
+func chaosHelper() {
+	fault.Inject() // want `error from Inject is dropped`
+}
+
+// The annotation works in test files as well.
+func chaosHelperAnnotated() {
+	fault.Inject() //lint:err-ok the probe only advances the schedule counter
+}

@@ -1,0 +1,117 @@
+// Package batch exercises the lockorder analyzer: mutexes held across
+// channel operations or ShardRunner dispatch (path suffix
+// internal/batch puts this fixture in scope).
+package batch
+
+import "sync"
+
+// ShardRunner stands in for the real sharded dispatcher; calls to its
+// Run method are treated as dispatch points.
+type ShardRunner struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Run dispatches the pending shard work.
+func (r *ShardRunner) Run() {}
+
+func work() bool { return false }
+
+// Bad: send while the mutex is held.
+func sendUnderLock(r *ShardRunner) {
+	r.mu.Lock()
+	r.ch <- 1 // want `channel send while holding r\.mu`
+	r.mu.Unlock()
+}
+
+// Bad: receive while the mutex is held.
+func recvUnderLock(r *ShardRunner) int {
+	r.mu.Lock()
+	v := <-r.ch // want `channel receive while holding r\.mu`
+	r.mu.Unlock()
+	return v
+}
+
+// Bad: deferred unlock runs at function exit, so the lock is still held
+// at the send — the exact pattern the analyzer exists for.
+func deferUnlockSend(r *ShardRunner) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ch <- 2 // want `channel send while holding r\.mu`
+}
+
+// Bad: the lock is taken on only one branch, but the join may still
+// hold it — the dataflow union catches the conditionally held path.
+func branchHeld(r *ShardRunner) {
+	if work() {
+		r.mu.Lock()
+	}
+	r.ch <- 3 // want `channel send while holding r\.mu`
+	if work() {
+		r.mu.Unlock()
+	}
+}
+
+// Bad: select communication clauses are channel operations too.
+func selectUnderLock(r *ShardRunner) {
+	r.mu.Lock()
+	select {
+	case v := <-r.ch: // want `channel receive while holding r\.mu`
+		_ = v
+	default:
+	}
+	r.mu.Unlock()
+}
+
+// Bad: range over a channel blocks on receives while the lock is held.
+func rangeUnderLock(r *ShardRunner) {
+	r.mu.Lock()
+	for v := range r.ch { // want `range over channel while holding r\.mu`
+		_ = v
+	}
+	r.mu.Unlock()
+}
+
+// Bad: dispatching shard work while serialized on the mutex couples the
+// critical section to the runner's goroutines.
+func dispatchUnderLock(r *ShardRunner, other *ShardRunner) {
+	r.mu.Lock()
+	other.Run() // want `ShardRunner dispatch while holding r\.mu`
+	r.mu.Unlock()
+}
+
+// Suppressed: the annotation acknowledges the send is to a buffered,
+// never-full channel owned by the same critical section.
+func annotatedSend(r *ShardRunner) {
+	r.mu.Lock()
+	r.ch <- 4 //lint:lock-ok buffered rendezvous owned by this critical section
+	r.mu.Unlock()
+}
+
+// Good: the lock is released before the send.
+func unlockThenSend(r *ShardRunner) {
+	r.mu.Lock()
+	dirty := work()
+	r.mu.Unlock()
+	if dirty {
+		r.ch <- 5
+	}
+}
+
+// Good: sync.Cond Wait/Signal/Broadcast are not channel operations.
+func condLoop(c *sync.Cond) {
+	c.L.Lock()
+	for !work() {
+		c.Wait()
+	}
+	c.Signal()
+	c.L.Unlock()
+}
+
+// Good: the channel operation happens inside a function literal that
+// runs on its own goroutine schedule.
+func spawnedSend(r *ShardRunner) {
+	r.mu.Lock()
+	go func() { r.ch <- 6 }()
+	r.mu.Unlock()
+}

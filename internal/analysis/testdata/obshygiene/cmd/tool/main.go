@@ -1,0 +1,14 @@
+// Command tool proves cmd/... packages are in obshygiene scope: driver
+// binaries register metrics under the same package-level contract as the
+// library packages.
+package main
+
+import "fixture/internal/obs"
+
+var toolRuns = obs.NewCounter("tool.runs")
+
+func main() {
+	c := obs.NewCounter("tool.inner") // want `obs\.NewCounter must run at package-level var initialization`
+	c.Add(1)
+	toolRuns.Add(1)
+}

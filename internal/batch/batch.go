@@ -145,6 +145,11 @@ func Run(tasks []MVM, opts Options) error {
 	return nil
 }
 
+// execute dispatches one batch member to the four-real decomposition or
+// the native complex Gemv. Registered hot path: it runs once per member
+// per Run and must stay allocation-free.
+//
+//lint:hotpath
 func execute(t *MVM, fourReal bool) {
 	if fourReal && t.Oper == OpN && t.Beta == 0 && t.Alpha == 1 && t.LDA == t.M {
 		runFourReal(t)
@@ -157,14 +162,60 @@ func execute(t *MVM, fourReal bool) {
 	cfloat.Gemv(tr, t.M, t.N, t.Alpha, t.A, t.LDA, t.X, t.Beta, t.Y)
 }
 
+// frScratch holds the split real/imaginary planes of one four-real MVM.
+// The buffers grow monotonically to the largest member seen, so a
+// steady-state workload stops allocating after warm-up.
+type frScratch struct {
+	ar, ai []float32 // matrix planes, m·n
+	xr, xi []float32 // input planes, n
+	yr, yi []float32 // output planes, m
+}
+
+// grow ensures capacity; it lives outside the hot-path marker because
+// the (re)allocations happen only while buffers ratchet up to the
+// workload's steady-state shape.
+func (s *frScratch) grow(mn, m, n int) {
+	if cap(s.ar) < mn {
+		s.ar = make([]float32, mn)
+		s.ai = make([]float32, mn)
+	}
+	if cap(s.xr) < n {
+		s.xr = make([]float32, n)
+		s.xi = make([]float32, n)
+	}
+	if cap(s.yr) < m {
+		s.yr = make([]float32, m)
+		s.yi = make([]float32, m)
+	}
+}
+
+// frFree recycles four-real scratch across Run calls and workers. A
+// channel free list rather than sync.Pool: the pool may drop entries at
+// any GC, which would make the AllocsPerRun gate nondeterministic.
+var frFree = make(chan *frScratch, 16)
+
 // runFourReal splits the operands and performs the §6.6 four-real-MVM
-// decomposition.
+// decomposition. Registered hot path: the split-plane buffers come from
+// the package free list, so the steady state performs no allocations.
+//
+//lint:hotpath
 func runFourReal(t *MVM) {
+	var s *frScratch
+	select {
+	case s = <-frFree:
+	default:
+		//lint:alloc-ok one-time checkout when the free list is empty; steady state recycles
+		s = new(frScratch)
+	}
 	mn := t.M * t.N
-	ar := make([]float32, mn)
-	ai := make([]float32, mn)
-	cfloat.SplitReIm(t.A[:mn], ar, ai)
-	cfloat.ComplexMVMViaFourReal(t.M, t.N, ar, ai, t.M, t.X, t.Y)
+	s.grow(mn, t.M, t.N)
+	cfloat.SplitReIm(t.A[:mn], s.ar[:mn], s.ai[:mn])
+	cfloat.ComplexMVMViaFourRealBuf(t.M, t.N, s.ar[:mn], s.ai[:mn], t.M, t.X, t.Y,
+		s.xr[:t.N], s.xi[:t.N], s.yr[:t.M], s.yi[:t.M])
+	select {
+	case frFree <- s:
+	default:
+	}
 }
 
 // SizeClasses groups the batch members by (m, n) shape, reporting how

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"testing"
 	"time"
 
 	"repro/internal/batch"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/ranks"
 	"repro/internal/seismic"
 	"repro/internal/sfc"
+	"repro/internal/testkit"
 	"repro/internal/tlr"
 	"repro/internal/wse"
 	"repro/internal/wsesim"
@@ -225,6 +227,11 @@ func Run(label string, p Profile) (*Report, error) {
 		return nil, err
 	}
 
+	// --- hot-path allocation budgets: runtime half of the allocfree gate ---
+	if err := hotPathAllocMetrics(add); err != nil {
+		return nil, err
+	}
+
 	// --- paper-scale machine model: deterministic Tables 2/5 metrics ---
 	if p.PaperScale {
 		if err := paperScaleMetrics(add); err != nil {
@@ -278,6 +285,26 @@ func failoverMetrics(add func(name string, value float64, unit, direction string
 	add("fault.failover.tasks", delta("batch.shard.failovers"), "tasks", Lower, true)
 	add("fault.failover.retries", delta("batch.shard.retries"), "retries", Lower, true)
 	add("fault.failover.overhead_pct", 100*extra/nf, "%", Lower, true)
+	return nil
+}
+
+// hotPathAllocMetrics measures steady-state allocations per op for every
+// kernel in the shared hot-path registry (internal/testkit.HotPaths).
+// The family gates at zero tolerance: the static allocfree analyzer
+// proves the kernels free of allocating constructs at the source level,
+// and these metrics keep that proof honest against escape-analysis and
+// library regressions the analyzer cannot see.
+func hotPathAllocMetrics(add func(name string, value float64, unit, direction string, gate bool)) error {
+	for _, hp := range testkit.HotPaths() {
+		op, err := hp.Setup()
+		if err != nil {
+			return fmt.Errorf("benchreport: hot path %s: %w", hp.Name, err)
+		}
+		// Warm lazily built scratch (free lists, offset tables);
+		// AllocsPerRun adds one more warm-up run of its own.
+		op()
+		add("hotpath."+hp.Name+".allocs_per_op", testing.AllocsPerRun(50, op), "allocs/op", Lower, true)
+	}
 	return nil
 }
 

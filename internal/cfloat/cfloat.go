@@ -353,11 +353,22 @@ func RealGemv(m, n int, a []float32, lda int, x []float32, y []float32) {
 //
 // ar and ai are the real and imaginary parts of A, column-major m×n.
 func ComplexMVMViaFourReal(m, n int, ar, ai []float32, lda int, x []complex64, y []complex64) {
-	xr := make([]float32, n)
-	xi := make([]float32, n)
+	ComplexMVMViaFourRealBuf(m, n, ar, ai, lda, x, y,
+		make([]float32, n), make([]float32, n), make([]float32, m), make([]float32, m))
+}
+
+// ComplexMVMViaFourRealBuf is ComplexMVMViaFourReal with caller-provided
+// split-plane scratch: xr and xi must have length >= n, yr and yi length
+// >= m. The scratch may be dirty — it is (re)initialized here — so hot
+// paths can recycle buffers across calls without allocating.
+func ComplexMVMViaFourRealBuf(m, n int, ar, ai []float32, lda int, x []complex64, y []complex64, xr, xi, yr, yi []float32) {
+	xr, xi = xr[:n], xi[:n]
+	yr, yi = yr[:m], yi[:m]
 	SplitReIm(x[:n], xr, xi)
-	yr := make([]float32, m)
-	yi := make([]float32, m)
+	for i := 0; i < m; i++ {
+		yr[i] = 0
+		yi[i] = 0
+	}
 	RealGemv(m, n, ar, lda, xr, yr) // Ar*xr
 	RealGemv(m, n, ai, lda, xi, yi) // Ai*xi (into yi temporarily)
 	for i := 0; i < m; i++ {

@@ -106,7 +106,10 @@ func (k *DenseKernel) Rows() int { return k.Mats[0].Rows }
 // Cols implements Kernel.
 func (k *DenseKernel) Cols() int { return k.Mats[0].Cols }
 
-// Apply implements Kernel.
+// Apply implements Kernel. Registered hot path: one MVM per in-band
+// frequency per operator application.
+//
+//lint:hotpath
 func (k *DenseKernel) Apply(f int, x, y []complex64) { k.Mats[f].MulVec(x, y) }
 
 // ApplyAdjoint implements Kernel.
@@ -168,7 +171,10 @@ func (k *TLRKernel) Rows() int { return k.Mats[0].M }
 // Cols implements Kernel.
 func (k *TLRKernel) Cols() int { return k.Mats[0].N }
 
-// Apply implements Kernel.
+// Apply implements Kernel. Registered hot path: one TLR-MVM per in-band
+// frequency per operator application.
+//
+//lint:hotpath
 func (k *TLRKernel) Apply(f int, x, y []complex64) { k.Mats[f].MulVec(x, y) }
 
 // ApplyAdjoint implements Kernel.

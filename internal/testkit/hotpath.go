@@ -1,0 +1,162 @@
+package testkit
+
+import (
+	"fmt"
+
+	"repro/internal/batch"
+	"repro/internal/cs2"
+	"repro/internal/dense"
+	"repro/internal/mdc"
+	"repro/internal/tlr"
+	"repro/internal/wsesim"
+)
+
+// HotPath is one runtime-verifiable kernel of the allocation-budget
+// contract. The static half lives in internal/analysis/hotpath.go: the
+// allocfree analyzer proves the registered functions free of allocating
+// constructs. This registry is the runtime half — every entry's op must
+// measure 0 allocs/op under testing.AllocsPerRun once warmed up
+// (hotpath_alloc_test.go), and the two registries are cross-checked
+// name-for-name so neither can drift alone.
+type HotPath struct {
+	// Name matches HotPathSeed.Kernel in internal/analysis/hotpath.go.
+	Name string
+	// Setup builds the kernel's operands deterministically and returns
+	// the steady-state operation to measure.
+	Setup func() (op func(), err error)
+}
+
+// hotPathDims are the shared deterministic problem dimensions: big
+// enough for multiple tiles in both grid directions (edge tiles
+// included), small enough to keep the gate fast.
+const (
+	hotM  = 48
+	hotN  = 40
+	hotNB = 16
+)
+
+// hotPathMatrix builds the shared deterministic TLR matrix.
+func hotPathMatrix() (*tlr.Matrix, error) {
+	rng := NewRNG(7)
+	a := DecayMat(rng, hotM, hotN, 0.5)
+	return tlr.Compress(a, tlr.Options{NB: hotNB, Tol: 1e-4, Workers: 1})
+}
+
+// HotPaths returns the runtime allocation-budget registry. Every entry
+// runs single-worker: the parallel paths spawn goroutines whose
+// allocations are legitimate scheduling cost, not kernel cost.
+func HotPaths() []HotPath {
+	return []HotPath{
+		{Name: "tlr.mulvec", Setup: func() (func(), error) {
+			t, err := hotPathMatrix()
+			if err != nil {
+				return nil, err
+			}
+			x, y := make([]complex64, hotN), make([]complex64, hotM)
+			x[0], x[hotN-1] = 1, 2i
+			return func() { t.MulVec(x, y) }, nil
+		}},
+		{Name: "tlr.mulvec_adjoint", Setup: func() (func(), error) {
+			t, err := hotPathMatrix()
+			if err != nil {
+				return nil, err
+			}
+			x, y := make([]complex64, hotM), make([]complex64, hotN)
+			x[0], x[hotM-1] = 1, 2i
+			return func() { t.MulVecConjTrans(x, y) }, nil
+		}},
+		{Name: "tlr.mulvec_batched", Setup: func() (func(), error) {
+			t, err := hotPathMatrix()
+			if err != nil {
+				return nil, err
+			}
+			x, y := make([]complex64, hotN), make([]complex64, hotM)
+			x[0], x[hotN-1] = 1, 2i
+			return func() {
+				if err := t.MulVecBatched(x, y, 1); err != nil {
+					panic(err)
+				}
+			}, nil
+		}},
+		{Name: "batch.run", Setup: func() (func(), error) {
+			tasks, err := hotPathBatch()
+			if err != nil {
+				return nil, err
+			}
+			return func() {
+				if err := batch.Run(tasks, batch.Options{Workers: 1}); err != nil {
+					panic(err)
+				}
+			}, nil
+		}},
+		{Name: "batch.run_fourreal", Setup: func() (func(), error) {
+			tasks, err := hotPathBatch()
+			if err != nil {
+				return nil, err
+			}
+			return func() {
+				if err := batch.Run(tasks, batch.Options{Workers: 1, FourReal: true}); err != nil {
+					panic(err)
+				}
+			}, nil
+		}},
+		{Name: "mdc.kernel_dense", Setup: func() (func(), error) {
+			rng := NewRNG(7)
+			k, err := mdc.NewDenseKernel([]*dense.Matrix{DecayMat(rng, hotM, hotN, 0.5)})
+			if err != nil {
+				return nil, err
+			}
+			x, y := make([]complex64, hotN), make([]complex64, hotM)
+			x[0] = 1
+			return func() { k.Apply(0, x, y) }, nil
+		}},
+		{Name: "mdc.kernel_tlr", Setup: func() (func(), error) {
+			t, err := hotPathMatrix()
+			if err != nil {
+				return nil, err
+			}
+			k := &mdc.TLRKernel{Mats: []*tlr.Matrix{t}}
+			x, y := make([]complex64, hotN), make([]complex64, hotM)
+			x[0] = 1
+			return func() { k.Apply(0, x, y) }, nil
+		}},
+		{Name: "wsesim.mulvec", Setup: func() (func(), error) {
+			t, err := hotPathMatrix()
+			if err != nil {
+				return nil, err
+			}
+			m, err := wsesim.Build(t, hotNB, cs2.DefaultArch())
+			if err != nil {
+				return nil, fmt.Errorf("testkit: building wsesim machine: %w", err)
+			}
+			x, y := make([]complex64, hotN), make([]complex64, hotM)
+			x[0], x[hotN-1] = 1, 2i
+			return func() { m.MulVec(x, y) }, nil
+		}},
+	}
+}
+
+// hotPathBatch builds the deterministic variable-size batch: one OpN
+// member per tile U base, the phase-3 shape of the batched TLR-MVM.
+// The tight-stride U factors satisfy the four-real fast-path
+// preconditions (OpN, Beta 0, Alpha 1, LDA == M), so the same batch
+// exercises both the native path and the §6.6 decomposition.
+func hotPathBatch() ([]batch.MVM, error) {
+	t, err := hotPathMatrix()
+	if err != nil {
+		return nil, err
+	}
+	var tasks []batch.MVM
+	x := make([]complex64, hotM)
+	for i := range x {
+		x[i] = complex(float32(i%5)-2, float32(i%3))
+	}
+	for _, tile := range t.Tiles {
+		u := tile.U
+		tasks = append(tasks, batch.MVM{
+			Oper: batch.OpN, M: u.Rows, N: u.Cols, Alpha: 1,
+			A: u.Data, LDA: u.Stride, X: x[:u.Cols], Y: make([]complex64, u.Rows),
+		})
+	}
+	return tasks, nil
+}

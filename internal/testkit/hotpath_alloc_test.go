@@ -1,0 +1,79 @@
+package testkit_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/testkit"
+)
+
+// TestHotPathAllocs is the runtime half of the allocation-budget
+// contract: every kernel in the hot-path registry must run steady-state
+// with zero allocations per op. The static half (the allocfree
+// analyzer) proves the absence of allocating constructs; this test
+// catches what escapes static reasoning — interface boxing in callees,
+// escape-analysis regressions, scratch that silently stopped being
+// recycled.
+func TestHotPathAllocs(t *testing.T) {
+	for _, hp := range testkit.HotPaths() {
+		t.Run(hp.Name, func(t *testing.T) {
+			op, err := hp.Setup()
+			if err != nil {
+				t.Fatalf("setup: %v", err)
+			}
+			// Warm lazily built scratch (free lists, offset tables)
+			// before measuring; AllocsPerRun adds one more warm-up run
+			// of its own.
+			op()
+			op()
+			if allocs := testing.AllocsPerRun(100, op); allocs != 0 {
+				t.Errorf("%s: %.1f allocs/op, want 0", hp.Name, allocs)
+			}
+		})
+	}
+}
+
+// TestHotPathRegistryMatchesSeeds pins the runtime registry to the
+// static one: the analyzer's seeded kernel set and the AllocsPerRun
+// gate must cover exactly the same names, so adding a kernel to either
+// side without the other fails here.
+func TestHotPathRegistryMatchesSeeds(t *testing.T) {
+	static := make(map[string]bool)
+	for _, s := range analysis.HotPathSeeds {
+		static[s.Kernel] = true
+	}
+	runtime := make(map[string]bool)
+	for _, hp := range testkit.HotPaths() {
+		if runtime[hp.Name] {
+			t.Errorf("duplicate runtime registry entry %q", hp.Name)
+		}
+		runtime[hp.Name] = true
+	}
+	for name := range static {
+		if !runtime[name] {
+			t.Errorf("kernel %q is seeded in internal/analysis but has no runtime AllocsPerRun entry", name)
+		}
+	}
+	for name := range runtime {
+		if !static[name] {
+			t.Errorf("kernel %q has a runtime AllocsPerRun entry but is not seeded in internal/analysis", name)
+		}
+	}
+}
+
+// TestHotPathGateDetectsAllocation is the negative control: the same
+// measurement that passes for every registered kernel must flag an op
+// that allocates. Together with the `unhoisted` fixture in
+// internal/analysis/testdata/allocfree, this demonstrates that removing
+// a scratch hoist trips both halves of the gate.
+func TestHotPathGateDetectsAllocation(t *testing.T) {
+	op := func() {
+		allocSink = make([]complex64, 64)
+	}
+	if allocs := testing.AllocsPerRun(10, op); allocs == 0 {
+		t.Fatal("AllocsPerRun reported 0 for a deliberately allocating op; the gate is not measuring")
+	}
+}
+
+// allocSink forces the negative control's buffer to escape to the heap.
+var allocSink []complex64

@@ -10,49 +10,55 @@ import (
 // execution style the paper says vendor libraries lack for variable ranks
 // and complex types (§4). Phase 1 batches every tile's Vᴴ product; phase 3
 // batches every tile's U product into per-tile scratch segments, which are
-// then reduced into y (batch members must write disjoint outputs).
-// workers <= 0 uses GOMAXPROCS.
+// then reduced into y (batch members must write disjoint outputs). All
+// intermediates come from the per-matrix scratch free list, so the
+// steady-state product performs no allocations. workers <= 0 uses
+// GOMAXPROCS. Registered hot path.
+//
+//lint:hotpath
 func (t *Matrix) MulVecBatched(x, y []complex64, workers int) error {
 	if len(x) < t.N || len(y) < t.M {
 		panic("tlr: MulVecBatched vector too short")
 	}
 	defer obsBatched.Start().End()
 	meterMVM(obsBatMeter, t)
-	nTiles := t.MT * t.NT
-	// phase 1: yv[i*NT+j] = V_{ij}ᴴ x_j
-	yv := make([][]complex64, nTiles)
-	tasks := make([]batch.MVM, 0, nTiles)
+	s := t.getScratch()
+	// phase 1: yv segment (i,j) = V_{ij}ᴴ x_j
+	tasks := s.tasks
 	for j := 0; j < t.NT; j++ {
 		xj := x[j*t.NB : j*t.NB+t.tileCols(j)]
 		for i := 0; i < t.MT; i++ {
-			tile := t.Tile(i, j)
-			out := make([]complex64, tile.Rank())
-			yv[i*t.NT+j] = out
+			idx := i*t.NT + j
+			tile := t.Tiles[idx]
+			//lint:alloc-ok the append stays within the MT·NT cap preallocated at scratch init
 			tasks = append(tasks, batch.MVM{
 				Oper: batch.OpC, M: tile.V.Rows, N: tile.V.Cols, Alpha: 1,
-				A: tile.V.Data, LDA: tile.V.Stride, X: xj, Y: out,
+				A: tile.V.Data, LDA: tile.V.Stride, X: xj,
+				Y: s.yv[t.rankOff[idx]:t.rankOff[idx+1]],
 			})
 		}
 	}
 	if err := batch.Run(tasks, batch.Options{Workers: workers}); err != nil {
+		t.putScratch(s)
 		return err
 	}
 	// phase 3: per-tile partial outputs, then a host-style reduction
-	partials := make([][]complex64, nTiles)
 	tasks = tasks[:0]
 	for i := 0; i < t.MT; i++ {
-		rows := t.tileRows(i)
 		for j := 0; j < t.NT; j++ {
-			tile := t.Tile(i, j)
-			out := make([]complex64, rows)
-			partials[i*t.NT+j] = out
+			idx := i*t.NT + j
+			tile := t.Tiles[idx]
+			//lint:alloc-ok the append stays within the MT·NT cap preallocated at scratch init
 			tasks = append(tasks, batch.MVM{
 				Oper: batch.OpN, M: tile.U.Rows, N: tile.U.Cols, Alpha: 1,
-				A: tile.U.Data, LDA: tile.U.Stride, X: yv[i*t.NT+j], Y: out,
+				A: tile.U.Data, LDA: tile.U.Stride,
+				X: s.yv[t.rankOff[idx]:t.rankOff[idx+1]],
+				Y: s.partials[t.partOff[idx]:t.partOff[idx+1]],
 			})
 		}
 	}
 	if err := batch.Run(tasks, batch.Options{Workers: workers}); err != nil {
+		t.putScratch(s)
 		return err
 	}
 	for i := 0; i < t.MT; i++ {
@@ -61,8 +67,10 @@ func (t *Matrix) MulVecBatched(x, y []complex64, workers int) error {
 			yi[k] = 0
 		}
 		for j := 0; j < t.NT; j++ {
-			cfloat.Axpy(1, partials[i*t.NT+j], yi)
+			idx := i*t.NT + j
+			cfloat.Axpy(1, s.partials[t.partOff[idx]:t.partOff[idx+1]], yi)
 		}
 	}
+	t.putScratch(s)
 	return nil
 }

@@ -1,0 +1,96 @@
+package tlr
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/batch"
+)
+
+// The three-phase MVM needs three intermediates per call: the stacked
+// Yv/Yu projection vector, the per-tile partial outputs of the batched
+// phase 3, and the batch task list. Allocating them per product put
+// O(MT·NT) makes on the hot path; they are hoisted here into a
+// per-matrix free list so steady-state products allocate nothing (the
+// allocfree analyzer proves it statically, testkit's AllocsPerRun gate
+// proves it at runtime). A channel free list rather than sync.Pool: the
+// pool may drop entries at any GC, which makes AllocsPerRun
+// nondeterministic, and rather than a single cached buffer because
+// stress tests drive one Matrix from many goroutines concurrently.
+const scratchPoolCap = 16
+
+// mvmScratch is one checkout of the MVM intermediates.
+type mvmScratch struct {
+	// yv holds every tile's projection segment, stacked by tile index:
+	// tile idx owns yv[rankOff[idx]:rankOff[idx+1]].
+	yv []complex64
+	// partials holds phase-3 per-tile outputs, stacked by tile index:
+	// tile idx owns partials[partOff[idx]:partOff[idx+1]].
+	partials []complex64
+	// tasks is the reusable batch member list (cap MT·NT).
+	tasks []batch.MVM
+}
+
+// ensureScratch computes the stacked-segment offset tables and creates
+// the free list, once per Matrix. A mutex-guarded slow path behind an
+// atomic flag instead of sync.Once: the fast path must stay free of the
+// method-value closure `t.once.Do(...)` would allocate per call.
+func (t *Matrix) ensureScratch() {
+	if t.scratchReady.Load() == 1 {
+		return
+	}
+	t.scratchMu.Lock()
+	defer t.scratchMu.Unlock()
+	if t.scratchReady.Load() == 1 {
+		return
+	}
+	nTiles := t.MT * t.NT
+	t.rankOff = make([]int, nTiles+1)
+	t.partOff = make([]int, nTiles+1)
+	for idx := 0; idx < nTiles; idx++ {
+		t.rankOff[idx+1] = t.rankOff[idx] + t.Tiles[idx].Rank()
+		t.partOff[idx+1] = t.partOff[idx] + t.tileRows(idx/t.NT)
+	}
+	t.scratchFree = make(chan *mvmScratch, scratchPoolCap)
+	t.scratchReady.Store(1)
+}
+
+// getScratch checks a scratch set out of the free list, allocating a
+// fresh one when the list is empty (first calls and bursts of
+// concurrent products beyond the pool capacity).
+func (t *Matrix) getScratch() *mvmScratch {
+	t.ensureScratch()
+	select {
+	case s := <-t.scratchFree:
+		return s
+	default:
+	}
+	nTiles := t.MT * t.NT
+	return &mvmScratch{
+		yv:       make([]complex64, t.rankOff[nTiles]),
+		partials: make([]complex64, t.partOff[nTiles]),
+		tasks:    make([]batch.MVM, 0, nTiles),
+	}
+}
+
+// putScratch returns a scratch set to the free list, dropping it when
+// the list is full.
+func (t *Matrix) putScratch(s *mvmScratch) {
+	s.tasks = s.tasks[:0]
+	select {
+	case t.scratchFree <- s:
+	default:
+	}
+}
+
+// scratchState is embedded in Matrix; a separate struct keeps the
+// public Matrix fields (and keyed literals elsewhere) untouched.
+type scratchState struct {
+	scratchReady atomic.Uint32
+	scratchMu    sync.Mutex
+	scratchFree  chan *mvmScratch
+	// rankOff and partOff are the stacked-segment offset tables, length
+	// MT·NT+1 each.
+	rankOff []int
+	partOff []int
+}

@@ -78,6 +78,10 @@ type Matrix struct {
 	MT    int // number of tile rows
 	NT    int // number of tile columns
 	Tiles []*Tile
+
+	// scratchState holds the lazily built MVM scratch free list and
+	// stacked-segment offset tables (see scratch.go).
+	scratchState
 }
 
 // Options configures TLR compression.
@@ -300,40 +304,66 @@ func (t *Matrix) mulVec(x, y []complex64, workers int) {
 	}
 	defer obsMVM.Start().End()
 	meterMVM(obsMVMMeter, t)
+	s := t.getScratch()
 	// Phase 1 (Fig. 5): V-batch. For each tile (i,j):
-	//   yv[i][j] = V_{ij}ᴴ · x_j        (length = rank of the tile)
-	yv := make([][]complex64, t.MT*t.NT)
-	phase1 := func(j int) {
-		xj := x[j*t.NB : j*t.NB+t.tileCols(j)]
-		for i := 0; i < t.MT; i++ {
-			tile := t.Tile(i, j)
-			out := make([]complex64, tile.Rank())
-			tile.V.MulVecConjTrans(xj, out)
-			yv[i*t.NT+j] = out
-		}
-	}
+	//   yv segment (i,j) = V_{ij}ᴴ · x_j   (length = rank of the tile)
+	// The sequential path calls the kernels directly: the parallel
+	// closures below would otherwise cost one allocation per product.
 	sp1 := obsPhase1.Start()
-	runIndexed(t.NT, workers, phase1)
+	if workers <= 1 || t.NT <= 1 {
+		for j := 0; j < t.NT; j++ {
+			t.forwardVCol(j, s.yv, x)
+		}
+	} else {
+		runIndexed(t.NT, workers, func(j int) { t.forwardVCol(j, s.yv, x) })
+	}
 	sp1.End()
 	// Phase 2 (Fig. 6): shuffle. In this in-memory implementation the
 	// shuffle is the re-indexing of yv from column-major traversal to
 	// row-major consumption — made explicit on the CS-2 mapping where it
 	// would cost fabric traffic (package wse removes it).
-	// Phase 3 (Fig. 7): U-batch. y_i = Σ_j U_{ij} · yv[i][j].
-	phase3 := func(i int) {
-		yi := y[i*t.NB : i*t.NB+t.tileRows(i)]
-		for k := range yi {
-			yi[k] = 0
-		}
-		for j := 0; j < t.NT; j++ {
-			tile := t.Tile(i, j)
-			cfloat.Gemv(cfloat.NoTrans, tile.U.Rows, tile.U.Cols, 1,
-				tile.U.Data, tile.U.Stride, yv[i*t.NT+j], 1, yi)
-		}
-	}
+	// Phase 3 (Fig. 7): U-batch. y_i = Σ_j U_{ij} · yv segment (i,j).
 	sp3 := obsPhase3.Start()
-	runIndexed(t.MT, workers, phase3)
+	if workers <= 1 || t.MT <= 1 {
+		for i := 0; i < t.MT; i++ {
+			t.forwardURow(i, s.yv, y)
+		}
+	} else {
+		runIndexed(t.MT, workers, func(i int) { t.forwardURow(i, s.yv, y) })
+	}
 	sp3.End()
+	t.putScratch(s)
+}
+
+// forwardVCol runs phase 1 for tile column j: every tile's Vᴴ·x_j
+// projection into its stacked yv segment. Registered hot path — the
+// loop must stay allocation-free.
+//
+//lint:hotpath
+func (t *Matrix) forwardVCol(j int, yv, x []complex64) {
+	xj := x[j*t.NB : j*t.NB+t.tileCols(j)]
+	for i := 0; i < t.MT; i++ {
+		idx := i*t.NT + j
+		t.Tiles[idx].V.MulVecConjTrans(xj, yv[t.rankOff[idx]:t.rankOff[idx+1]])
+	}
+}
+
+// forwardURow runs phase 3 for tile row i: y_i = Σ_j U_{ij} · yv
+// segment (i,j). Registered hot path — the loop must stay
+// allocation-free.
+//
+//lint:hotpath
+func (t *Matrix) forwardURow(i int, yv, y []complex64) {
+	yi := y[i*t.NB : i*t.NB+t.tileRows(i)]
+	for k := range yi {
+		yi[k] = 0
+	}
+	for j := 0; j < t.NT; j++ {
+		idx := i*t.NT + j
+		tile := t.Tiles[idx]
+		cfloat.Gemv(cfloat.NoTrans, tile.U.Rows, tile.U.Cols, 1,
+			tile.U.Data, tile.U.Stride, yv[t.rankOff[idx]:t.rankOff[idx+1]], 1, yi)
+	}
 }
 
 // MulVecConjTrans computes y = Aᴴ x: the adjoint TLR-MVM required by the
@@ -357,31 +387,55 @@ func (t *Matrix) mulVecConjTrans(x, y []complex64, workers int) {
 	}
 	defer obsAdjoint.Start().End()
 	meterMVM(obsAdjMeter, t)
-	// adjoint phase 1: yu[i][j] = U_{ij}ᴴ · x_i
-	yu := make([][]complex64, t.MT*t.NT)
-	p1 := func(i int) {
-		xi := x[i*t.NB : i*t.NB+t.tileRows(i)]
-		for j := 0; j < t.NT; j++ {
-			tile := t.Tile(i, j)
-			out := make([]complex64, tile.Rank())
-			tile.U.MulVecConjTrans(xi, out)
-			yu[i*t.NT+j] = out
-		}
-	}
-	runIndexed(t.MT, workers, p1)
-	// adjoint phase 3: y_j = Σ_i V_{ij} · yu[i][j]
-	p3 := func(j int) {
-		yj := y[j*t.NB : j*t.NB+t.tileCols(j)]
-		for k := range yj {
-			yj[k] = 0
-		}
+	s := t.getScratch()
+	// adjoint phase 1: yu segment (i,j) = U_{ij}ᴴ · x_i
+	if workers <= 1 || t.MT <= 1 {
 		for i := 0; i < t.MT; i++ {
-			tile := t.Tile(i, j)
-			cfloat.Gemv(cfloat.NoTrans, tile.V.Rows, tile.V.Cols, 1,
-				tile.V.Data, tile.V.Stride, yu[i*t.NT+j], 1, yj)
+			t.adjointURow(i, s.yv, x)
 		}
+	} else {
+		runIndexed(t.MT, workers, func(i int) { t.adjointURow(i, s.yv, x) })
 	}
-	runIndexed(t.NT, workers, p3)
+	// adjoint phase 3: y_j = Σ_i V_{ij} · yu segment (i,j)
+	if workers <= 1 || t.NT <= 1 {
+		for j := 0; j < t.NT; j++ {
+			t.adjointVCol(j, s.yv, y)
+		}
+	} else {
+		runIndexed(t.NT, workers, func(j int) { t.adjointVCol(j, s.yv, y) })
+	}
+	t.putScratch(s)
+}
+
+// adjointURow runs the adjoint phase 1 for tile row i: every tile's
+// Uᴴ·x_i projection into its stacked yu segment. Registered hot path —
+// the loop must stay allocation-free.
+//
+//lint:hotpath
+func (t *Matrix) adjointURow(i int, yu, x []complex64) {
+	xi := x[i*t.NB : i*t.NB+t.tileRows(i)]
+	for j := 0; j < t.NT; j++ {
+		idx := i*t.NT + j
+		t.Tiles[idx].U.MulVecConjTrans(xi, yu[t.rankOff[idx]:t.rankOff[idx+1]])
+	}
+}
+
+// adjointVCol runs the adjoint phase 3 for tile column j:
+// y_j = Σ_i V_{ij} · yu segment (i,j). Registered hot path — the loop
+// must stay allocation-free.
+//
+//lint:hotpath
+func (t *Matrix) adjointVCol(j int, yu, y []complex64) {
+	yj := y[j*t.NB : j*t.NB+t.tileCols(j)]
+	for k := range yj {
+		yj[k] = 0
+	}
+	for i := 0; i < t.MT; i++ {
+		idx := i*t.NT + j
+		tile := t.Tiles[idx]
+		cfloat.Gemv(cfloat.NoTrans, tile.V.Rows, tile.V.Cols, 1,
+			tile.V.Data, tile.V.Stride, yu[t.rankOff[idx]:t.rankOff[idx+1]], 1, yj)
+	}
 }
 
 // runIndexed executes f(0..n-1), optionally across workers goroutines.

@@ -71,6 +71,14 @@ type PE struct {
 	rowExt []int       // row extent of each segment's tile
 	// Meter counts executed memory traffic in bytes.
 	Meter Meter
+	// Split-plane scratch of the chunk program, sized once at load time
+	// (x planes: ColExtent; yv planes: Rows; y planes: the largest
+	// segment row extent) so run performs no allocations. These model
+	// the PE's resident working buffers — SRAMBytes already accounts
+	// for them.
+	sXr, sXi         []float32
+	sYvr, sYvi, sTmp []float32
+	sYr, sYi         []float32
 }
 
 // Meter tallies executed SRAM traffic.
@@ -188,6 +196,21 @@ func (m *Machine) loadPE(ch Chunk, colExt int) (*PE, error) {
 		pe.ui = append(pe.ui, ui)
 		pe.rowExt = append(pe.rowExt, rowExt)
 	}
+	// working buffers for the chunk program (the x/yv/y vectors the
+	// SRAM accounting already includes)
+	pe.sXr = make([]float32, colExt)
+	pe.sXi = make([]float32, colExt)
+	pe.sYvr = make([]float32, ch.Rows)
+	pe.sYvi = make([]float32, ch.Rows)
+	pe.sTmp = make([]float32, ch.Rows)
+	maxExt := 0
+	for _, re := range pe.rowExt {
+		if re > maxExt {
+			maxExt = re
+		}
+	}
+	pe.sYr = make([]float32, maxExt)
+	pe.sYi = make([]float32, maxExt)
 	if sram := pe.SRAMBytes(); sram > m.Arch.SRAMBytes {
 		return nil, fmt.Errorf("wsesim: chunk (col %d, row %d) needs %d B of SRAM (PE has %d)",
 			ch.Col, ch.Row0, sram, m.Arch.SRAMBytes)
@@ -213,21 +236,25 @@ func (pe *PE) SRAMBytes() int {
 	return b
 }
 
-// run executes the PE's eight real MVMs against the input block x
-// (the tile column's slice of the global x), returning the per-segment
-// partial outputs as complex vectors.
-func (pe *PE) run(x []complex64) [][]complex64 {
+// run executes the PE's eight real MVMs against the input block x (the
+// tile column's slice of the global x) and accumulates each segment's
+// partial output directly into the global y (tile grid size nb). All
+// intermediates live in the PE's preallocated scratch planes.
+// Registered hot path — the chunk program must stay allocation-free.
+//
+//lint:hotpath
+func (pe *PE) run(x []complex64, y []complex64, nb int) {
 	n := pe.ColExtent
 	rows := pe.Chunk.Rows
-	xr := make([]float32, n)
-	xi := make([]float32, n)
+	xr, xi := pe.sXr[:n], pe.sXi[:n]
 	cfloat.SplitReIm(x[:n], xr, xi)
 
 	// V phase: yv = Vᴴ_chunk · x as four real MVMs (§6.6):
 	//   Re(yv) = Vr·xr − Vi·xi ; Im(yv) = Vr·xi + Vi·xr
-	yvr := make([]float32, rows)
-	yvi := make([]float32, rows)
-	tmp := make([]float32, rows)
+	yvr, yvi, tmp := pe.sYvr[:rows], pe.sYvi[:rows], pe.sTmp[:rows]
+	for i := 0; i < rows; i++ {
+		yvr[i], yvi[i], tmp[i] = 0, 0, 0
+	}
 	cfloat.RealGemv(rows, n, pe.vr, rows, xr, yvr)
 	pe.meterMVM(rows, n)
 	cfloat.RealGemv(rows, n, pe.vi, rows, xi, tmp)
@@ -242,34 +269,36 @@ func (pe *PE) run(x []complex64) [][]complex64 {
 	cfloat.RealGemv(rows, n, pe.vi, rows, xr, yvi)
 	pe.meterMVM(rows, n)
 
-	// U phase: per segment, y_seg = U_seg · yv_seg via four real MVMs.
-	out := make([][]complex64, len(pe.ur))
+	// U phase: per segment, y_seg = U_seg · yv_seg via four real MVMs,
+	// reduced into the global output as the host would.
 	off := 0
 	for s := range pe.ur {
-		k := len(pe.ur[s]) / pe.rowExt[s]
 		rowExt := pe.rowExt[s]
+		k := len(pe.ur[s]) / rowExt
 		svr := yvr[off : off+k]
 		svi := yvi[off : off+k]
-		yr := make([]float32, rowExt)
-		yi := make([]float32, rowExt)
-		t2 := make([]float32, rowExt)
+		yr, yi := pe.sYr[:rowExt], pe.sYi[:rowExt]
+		for i := 0; i < rowExt; i++ {
+			yr[i], yi[i] = 0, 0
+		}
 		cfloat.RealGemv(rowExt, k, pe.ur[s], rowExt, svr, yr)
 		pe.meterMVM(rowExt, k)
-		cfloat.RealGemv(rowExt, k, pe.ui[s], rowExt, svi, t2)
+		cfloat.RealGemv(rowExt, k, pe.ui[s], rowExt, svi, yi)
 		pe.meterMVM(rowExt, k)
 		for i := range yr {
-			yr[i] -= t2[i]
+			yr[i] -= yi[i]
+			yi[i] = 0
 		}
 		cfloat.RealGemv(rowExt, k, pe.ur[s], rowExt, svi, yi)
 		pe.meterMVM(rowExt, k)
 		cfloat.RealGemv(rowExt, k, pe.ui[s], rowExt, svr, yi)
 		pe.meterMVM(rowExt, k)
-		y := make([]complex64, rowExt)
-		cfloat.MergeReIm(yr, yi, y)
-		out[s] = y
+		dst := y[pe.Chunk.Segments[s].TileRow*nb:]
+		for i := 0; i < rowExt; i++ {
+			dst[i] += complex(yr[i], yi[i])
+		}
 		off += k
 	}
-	return out
 }
 
 // meterMVM records the absolute traffic of one real m×n MVM: per column,
@@ -281,8 +310,12 @@ func (pe *PE) meterMVM(mm, nn int) {
 	pe.Meter.FMACs += int64(mm) * int64(nn)
 }
 
-// MulVec executes the full machine: every PE runs its chunk program and
-// the host reduces the per-tile partial outputs into y = A x.
+// MulVec executes the full machine: every PE runs its chunk program,
+// accumulating its per-tile partial outputs into y = A x as the host
+// reduction would. Registered hot path — one call per simulated
+// product, allocation-free in steady state.
+//
+//lint:hotpath
 func (m *Machine) MulVec(x, y []complex64) {
 	t := m.T
 	if len(x) < t.N || len(y) < t.M {
@@ -290,29 +323,22 @@ func (m *Machine) MulVec(x, y []complex64) {
 	}
 	defer obsMulVec.Start().End()
 	var before Meter
-	if obs.Enabled() {
+	metered := obs.Enabled()
+	if metered {
 		before = m.TotalMeter()
 	}
-	defer func() {
-		if obs.Enabled() {
-			after := m.TotalMeter()
-			// a real fmac is 2 flops; traffic is the executed §6.6 bytes
-			obsMeter.Add(2*(after.FMACs-before.FMACs), after.Bytes()-before.Bytes())
-		}
-	}()
 	for i := 0; i < t.M; i++ {
 		y[i] = 0
 	}
 	for _, pe := range m.PEs {
 		j := pe.Chunk.Col
 		xj := x[j*t.NB : j*t.NB+pe.ColExtent]
-		parts := pe.run(xj)
-		for s, seg := range pe.Chunk.Segments {
-			dst := y[seg.TileRow*t.NB:]
-			for r, v := range parts[s] {
-				dst[r] += v
-			}
-		}
+		pe.run(xj, y, t.NB)
+	}
+	if metered {
+		after := m.TotalMeter()
+		// a real fmac is 2 flops; traffic is the executed §6.6 bytes
+		obsMeter.Add(2*(after.FMACs-before.FMACs), after.Bytes()-before.Bytes())
 	}
 }
 
