@@ -19,7 +19,7 @@ FUZZ_TARGETS = \
 
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race race-stress fuzz bench bench-json bench-compare lint repolint vuln cover
+.PHONY: all build vet test race race-stress integration fuzz bench bench-json bench-compare lint repolint vuln cover
 
 all: vet build test
 
@@ -37,9 +37,16 @@ race:
 
 # concurrency stress tests (TestStress*, skipped under -short): sharded
 # scheduler with mid-flight revocation, concurrent MDC fan-out, batched
-# TLR-MVM — run repeatedly under the race detector
+# TLR-MVM, and the mddserve load tests at the repo root — run repeatedly
+# under the race detector
 race-stress:
-	$(GO) test -race -count=2 -run '^TestStress' ./internal/batch/ ./internal/mdc/ ./internal/tlr/
+	$(GO) test -race -count=2 -run '^TestStress' ./ ./internal/batch/ ./internal/mdc/ ./internal/tlr/
+
+# serving-layer integration suite: typed client against a live
+# in-process mddserve instance (submit/poll/stream/cancel, backpressure,
+# chaos-over-HTTP differential)
+integration:
+	$(GO) test -race -run '^TestServeSuite' -v ./
 
 fuzz:
 	@set -e; for t in $(FUZZ_TARGETS); do \

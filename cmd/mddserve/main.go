@@ -1,0 +1,91 @@
+// Command mddserve runs the MDD pipeline as an HTTP service: compression
+// footprint jobs, batched TLR-MVM jobs, and fault-tolerant MDD inversion
+// jobs are multiplexed onto a pool of simulated CS-2 shard runners with
+// bounded-queue admission control, per-tenant concurrency limits, and
+// NDJSON residual streaming.
+//
+// Usage:
+//
+//	mddserve [-addr :8700] [-workers 2] [-shards 4] [-queue 16]
+//	         [-tenant-inflight 8] [-faults "shard1:die@3,op:err@5"]
+//
+// The service speaks the API in internal/mddserve (see its Handler doc
+// for routes); internal/mddclient is the matching typed Go client.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/mddserve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8700", "listen address")
+	workers := flag.Int("workers", 2, "worker goroutines (each owns a shard runner)")
+	shards := flag.Int("shards", 4, "simulated CS-2 shards per worker")
+	queue := flag.Int("queue", 16, "bounded job queue size")
+	tenantInflight := flag.Int("tenant-inflight", 8, "max queued+running jobs per tenant")
+	maxSources := flag.Int("max-sources", 512, "largest accepted source count")
+	maxReceivers := flag.Int("max-receivers", 256, "largest accepted receiver count")
+	maxNt := flag.Int("max-nt", 512, "largest accepted time-axis length")
+	faults := flag.String("faults", "", "fault schedule injected into every mdd job (e.g. \"shard1:die@3,op:err@5\")")
+	flag.Parse()
+
+	cfg := mddserve.Config{
+		Workers:           *workers,
+		Shards:            *shards,
+		QueueSize:         *queue,
+		PerTenantInflight: *tenantInflight,
+		MaxSources:        *maxSources,
+		MaxReceivers:      *maxReceivers,
+		MaxNt:             *maxNt,
+	}
+	if *faults != "" {
+		sched, err := fault.Parse(*faults)
+		if err != nil {
+			log.Fatalf("mddserve: bad -faults: %v", err)
+		}
+		cfg.Faults = sched
+	}
+
+	srv := mddserve.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("mddserve: listen %s: %v", *addr, err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	log.Printf("mddserve: serving on %s (%d workers x %d shards, queue %d, tenant inflight %d)",
+		ln.Addr(), *workers, *shards, *queue, *tenantInflight)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if serveErr := httpSrv.Serve(ln); serveErr != nil && serveErr != http.ErrServerClosed {
+			log.Printf("mddserve: serve: %v", serveErr)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "mddserve: shutting down")
+	// Stop admitting, cancel running jobs, then drain the HTTP side.
+	srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("mddserve: shutdown: %v", err)
+	}
+	<-done
+}

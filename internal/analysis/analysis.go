@@ -27,15 +27,17 @@
 //   - oraclereg: every exported MulVec-shaped kernel entry point must be
 //     referenced from the internal/testkit differential oracle
 //     (escape: //lint:oracle-exempt).
-//   - seededrand: test/bench/testkit/cmd RNGs must be explicitly and
-//     deterministically seeded.
+//   - seededrand: test/bench/testkit/cmd and serving-layer RNGs must be
+//     explicitly and deterministically seeded.
 //   - allocfree: //lint:hotpath-marked and registry-seeded kernel loops
 //     must be provably allocation-free (escape: //lint:alloc-ok).
 //   - faultflow: errors from internal/fault, internal/ckpt,
-//     SolveFallible, and CheckedKernel calls must reach a check on every
-//     CFG path (escape: //lint:err-ok).
+//     SolveFallible, InvertResilient, and CheckedKernel calls must reach
+//     a check on every CFG path (escape: //lint:err-ok).
 //   - lockorder: no mutex held across channel operations or ShardRunner
-//     dispatch in internal/batch and internal/obs (escape: //lint:lock-ok).
+//     dispatch in internal/batch, internal/obs, or the serving layer
+//     (internal/mddserve, internal/mddclient, cmd/mddserve)
+//     (escape: //lint:lock-ok).
 //
 // cmd/repolint drives the suite both standalone (whole-module, source
 // type-checked) and as a `go vet -vettool` unitchecker. The framework is

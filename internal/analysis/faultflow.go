@@ -18,8 +18,9 @@ import (
 // function. Deliberate drops are annotated //lint:err-ok <reason>.
 var FaultFlow = &Analyzer{
 	Name: "faultflow",
-	Doc: "require errors from internal/fault, internal/ckpt, SolveFallible, and " +
-		"CheckedKernel calls to reach a check on every path (escape: //lint:err-ok <reason>)",
+	Doc: "require errors from internal/fault, internal/ckpt, SolveFallible, " +
+		"InvertResilient, and CheckedKernel calls to reach a check on every path " +
+		"(escape: //lint:err-ok <reason>)",
 	TestFiles: true,
 	Run:       runFaultFlow,
 }
@@ -58,7 +59,10 @@ func fallibleCallee(fn *types.Func) bool {
 		return true
 	}
 	switch fn.Name() {
-	case "SolveFallible", "ApplyChecked", "ApplyAdjointChecked":
+	case "SolveFallible", "ApplyChecked", "ApplyAdjointChecked", "InvertResilient":
+		// InvertResilient is the serving layer's solve entry point: its
+		// error is the last fault after restarts are exhausted — dropping
+		// it turns an aborted inversion into a silent empty result.
 		return true
 	}
 	return false

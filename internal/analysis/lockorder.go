@@ -7,25 +7,31 @@ import (
 )
 
 // LockOrder flags mutex acquisitions held across blocking channel
-// operations or ShardRunner task dispatch in internal/batch and
-// internal/obs. The batch scheduler's revocation path and the obs
-// registry both serialize on mutexes; a channel send or receive while
-// one is held couples the lock's critical section to goroutine-external
-// progress — the classic recipe for the scheduler deadlocks PR 4's
-// chaos tests hunt for. The check is a forward dataflow over the CFG:
-// the held-lock set propagates through branches and loops (a lock taken
-// on one arm of an if is still held at the join on that path), so
-// conditionally held locks are caught too. sync.Cond Wait/Broadcast are
-// not channel operations and pass. Escape: //lint:lock-ok <reason>.
+// operations or ShardRunner task dispatch in internal/batch,
+// internal/obs, and the serving layer (internal/mddserve,
+// internal/mddclient, cmd/mddserve). The batch scheduler's revocation
+// path, the obs registry, and the serving layer's job records all
+// serialize on mutexes; a channel send or receive while one is held
+// couples the lock's critical section to goroutine-external progress —
+// the classic recipe for the scheduler deadlocks PR 4's chaos tests
+// hunt for, and in the serving layer specifically for an HTTP handler
+// blocking every publisher of the job it streams. The check is a
+// forward dataflow over the CFG: the held-lock set propagates through
+// branches and loops (a lock taken on one arm of an if is still held at
+// the join on that path), so conditionally held locks are caught too.
+// sync.Cond Wait/Broadcast are not channel operations and pass; neither
+// is close(), which never blocks. Escape: //lint:lock-ok <reason>.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
 	Doc: "flag mutexes held across channel sends/receives or ShardRunner dispatch " +
-		"in internal/batch and internal/obs (escape: //lint:lock-ok <reason>)",
+		"in internal/batch, internal/obs, internal/mddserve, internal/mddclient, " +
+		"and cmd/mddserve (escape: //lint:lock-ok <reason>)",
 	Run: runLockOrder,
 }
 
 func runLockOrder(pass *Pass) error {
-	if !pathMatches(pass.Path, "internal/batch", "internal/obs") {
+	if !pathMatches(pass.Path, "internal/batch", "internal/obs",
+		"internal/mddserve", "internal/mddclient", "cmd/mddserve") {
 		return nil
 	}
 	for _, file := range pass.Files {

@@ -15,11 +15,17 @@ import (
 // differential oracle — and a chaos schedule that fires on a
 // nondeterministic draw cannot be replayed at all. The cmd/ drivers are
 // in scope because their runs feed committed artifacts (BENCH_*.json,
-// MDD reports) that must reproduce bit-for-bit.
+// MDD reports) that must reproduce bit-for-bit. The serving layer
+// (internal/mddserve, internal/mddclient) is in scope because job
+// results are keyed on spec seeds — a tlrmvm checksum or a client
+// backoff schedule derived from the wall clock would break both the
+// determinism contract of the API and the replayability of every
+// serving-layer chaos test.
 var SeededRand = &Analyzer{
 	Name: "seededrand",
 	Doc: "require explicit deterministic seeds for RNGs in internal/testkit, " +
-		"internal/fault, cmd/..., benchmarks, and fuzz seeds (no global math/rand, no time-derived seeds)",
+		"internal/fault, internal/mddserve, internal/mddclient, cmd/..., " +
+		"benchmarks, and fuzz seeds (no global math/rand, no time-derived seeds)",
 	TestFiles: true,
 	Run:       runSeededRand,
 }
@@ -32,7 +38,8 @@ var randConstructors = map[string]bool{
 }
 
 func runSeededRand(pass *Pass) error {
-	inTestkit := pathMatches(pass.Path, "internal/testkit") || pathMatches(pass.Path, "internal/fault") ||
+	inTestkit := pathMatches(pass.Path, "internal/testkit", "internal/fault",
+		"internal/mddserve", "internal/mddclient") ||
 		hasPathSegment(pass.Path, "cmd")
 	// rand.New(rand.NewSource(bad)) nests two constructors around one
 	// seed expression; report each offending node once.

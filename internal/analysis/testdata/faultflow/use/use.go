@@ -14,6 +14,10 @@ type Solver struct{}
 // SolveFallible matches the guarded name surface.
 func (Solver) SolveFallible(n int) (int, error) { return n, nil }
 
+// InvertResilient matches the guarded name surface: the serving layer's
+// fault-tolerant solve entry point.
+func InvertResilient(n int) (int, error) { return n, nil }
+
 // Kernel stands in for the CheckedKernel surface.
 type Kernel struct{}
 
@@ -62,6 +66,26 @@ func overwritten(k Kernel) error {
 	err := k.ApplyChecked(0) // want `error from ApplyChecked assigned to err does not reach a check on every path`
 	err = k.ApplyChecked(1)
 	return err
+}
+
+// Bad: an unchecked fallible solve turns an aborted inversion into a
+// silent empty result — the serving-layer case the guard was extended
+// for.
+func uncheckedSolve() int {
+	out, err := InvertResilient(4) // want `error from InvertResilient assigned to err does not reach a check on every path`
+	if cond() {
+		handle(err)
+	}
+	return out
+}
+
+// Good: the solve's error is propagated like any other.
+func checkedSolve() (int, error) {
+	out, err := InvertResilient(4)
+	if err != nil {
+		return 0, err
+	}
+	return out, nil
 }
 
 // Bad: a goroutine cannot deliver the error anywhere.

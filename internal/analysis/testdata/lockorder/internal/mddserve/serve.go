@@ -1,0 +1,58 @@
+// Package mddserve proves the serving-layer lockorder scope (path
+// suffix internal/mddserve): an HTTP handler or job publisher that
+// blocks on a channel while holding the job mutex stalls every other
+// publisher and poller of that job.
+package mddserve
+
+import "sync"
+
+// job mirrors the real serving-layer lifecycle record: a mutex guarding
+// events plus a notify channel streamers wait on.
+type job struct {
+	mu     sync.Mutex
+	events []int
+	notify chan struct{}
+	out    chan int
+}
+
+// Bad: streaming an event to the client while the job mutex is held —
+// a slow client blocks every publisher of this job.
+func streamUnderLock(j *job) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, ev := range j.events {
+		j.out <- ev // want `channel send while holding j\.mu`
+	}
+}
+
+// Bad: waiting for the next event notification without releasing the
+// record's lock first — the publisher needs that lock to notify.
+func waitUnderLock(j *job) {
+	j.mu.Lock()
+	<-j.notify // want `channel receive while holding j\.mu`
+	j.mu.Unlock()
+}
+
+// Good (the real handler's shape): copy pending events under the lock,
+// then write and wait outside it.
+func copyThenStream(j *job) {
+	j.mu.Lock()
+	pending := append([]int(nil), j.events...)
+	wait := j.notify
+	j.mu.Unlock()
+	for _, ev := range pending {
+		j.out <- ev
+	}
+	<-wait
+}
+
+// Good: close never blocks, so closing the notify channel under the
+// lock (the publisher's wake-up idiom) is fine.
+func publishAndWake(j *job, ev int) {
+	j.mu.Lock()
+	j.events = append(j.events, ev)
+	wake := j.notify
+	j.notify = make(chan struct{})
+	close(wake)
+	j.mu.Unlock()
+}

@@ -1,0 +1,29 @@
+// Package mddclient proves the serving-layer seededrand scope (path
+// suffix internal/mddclient): retry backoff jitter derived from the
+// wall clock or the shared global source makes a recorded 429 storm
+// unreplayable — the client's whole retry schedule must be
+// deterministic.
+package mddclient
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad: time-seeded jitter source — every replay retries on a different
+// schedule.
+func jitterSource() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `RNG seeded from a wall-clock timestamp is different every run`
+}
+
+// Bad: the global shared source is unseeded.
+func globalJitter(d time.Duration) time.Duration {
+	return d + time.Duration(rand.Int63n(int64(d))) // want `global math/rand\.Int63n uses the shared unseeded source`
+}
+
+// Good: jitter from an explicitly seeded per-client source replays
+// exactly.
+func seededJitter(seed int64, d time.Duration) time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	return d + time.Duration(rng.Int63n(int64(d)))
+}

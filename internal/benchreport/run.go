@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -12,6 +14,7 @@ import (
 	"repro/internal/cs2"
 	"repro/internal/fault"
 	"repro/internal/mdc"
+	"repro/internal/mddserve"
 	"repro/internal/obs"
 	"repro/internal/ranks"
 	"repro/internal/seismic"
@@ -232,6 +235,11 @@ func Run(label string, p Profile) (*Report, error) {
 		return nil, err
 	}
 
+	// --- serving layer: admission control, cache reuse, job latency ---
+	if err := serveMetrics(add, p); err != nil {
+		return nil, err
+	}
+
 	// --- paper-scale machine model: deterministic Tables 2/5 metrics ---
 	if p.PaperScale {
 		if err := paperScaleMetrics(add); err != nil {
@@ -306,6 +314,151 @@ func hotPathAllocMetrics(add func(name string, value float64, unit, direction st
 		add("hotpath."+hp.Name+".allocs_per_op", testing.AllocsPerRun(50, op), "allocs/op", Lower, true)
 	}
 	return nil
+}
+
+// serveMetrics drives the mddserve job service end to end. Two phases:
+// a deterministic admission burst against a paused server whose limits
+// are saturated by construction (exactly one tenant_limit and one
+// queue_full rejection), then a mixed compress/tlrmvm/mdd throughput
+// run sized by the profile. Completion, rejection, and dataset-cache
+// counts are pure functions of the burst shape and gate; the wall-clock
+// throughput and latency percentiles are informational.
+func serveMetrics(add func(name string, value float64, unit, direction string, gate bool), p Profile) error {
+	ds := mddserve.DatasetSpec{
+		NsX: p.Dataset.Geom.NsX, NsY: p.Dataset.Geom.NsY,
+		NrX: p.Dataset.Geom.NrX, NrY: p.Dataset.Geom.NrY,
+		Nt: p.Dataset.Nt,
+	}
+	compress := mddserve.JobSpec{Type: mddserve.JobCompress, Dataset: ds, NB: p.NB, Tol: p.Acc}
+	before := obs.TakeSnapshot()
+
+	// Phase 1: admission. Workers paused, per-tenant limit 2, queue 4.
+	// Tenant "greedy" saturates its limit, tenant "steady" fills the
+	// queue, tenant "probe" hits the full queue — one rejection of each
+	// kind, deterministically.
+	adm := mddserve.New(mddserve.Config{
+		Workers: 2, Shards: 4, QueueSize: 4, PerTenantInflight: 2,
+		BackoffSleep: func(time.Duration) {},
+	})
+	adm.Pause()
+	var admitted []string
+	for _, tenant := range []string{"greedy", "greedy", "steady", "steady"} {
+		id, err := adm.Submit(compress, tenant)
+		if err != nil {
+			return fmt.Errorf("benchreport: serve admission submit: %w", err)
+		}
+		admitted = append(admitted, id)
+	}
+	if _, err := adm.Submit(compress, "greedy"); err == nil {
+		return fmt.Errorf("benchreport: serve: saturated tenant was admitted")
+	}
+	if _, err := adm.Submit(compress, "probe"); err == nil {
+		return fmt.Errorf("benchreport: serve: job admitted past a full queue")
+	}
+	adm.Resume()
+	for _, id := range admitted {
+		if _, err := waitServeJob(adm, id); err != nil {
+			return err
+		}
+	}
+	admStats := adm.Stats()
+	adm.Close()
+
+	// Phase 2: throughput. A fresh server with ample limits executes a
+	// mixed job burst; every job shares one dataset key, so the build
+	// cache misses exactly once per server.
+	n := 2 * p.MVMReps
+	if n < 8 {
+		n = 8
+	}
+	iters := p.SolverIters
+	if iters > 4 {
+		iters = 4
+	}
+	srv := mddserve.New(mddserve.Config{
+		Workers: 4, Shards: 4, QueueSize: n, PerTenantInflight: n,
+		BackoffSleep: func(time.Duration) {},
+	})
+	defer srv.Close()
+	specs := make([]mddserve.JobSpec, n)
+	for i := range specs {
+		switch i % 4 {
+		case 0:
+			specs[i] = mddserve.JobSpec{
+				Type: mddserve.JobMDD, Dataset: ds, NB: p.NB, Tol: p.Acc, Iters: iters,
+			}
+		case 2:
+			specs[i] = mddserve.JobSpec{
+				Type: mddserve.JobTLRMVM, Dataset: ds, NB: p.NB, Tol: p.Acc,
+				Reps: 4, Seed: int64(i + 1),
+			}
+		default:
+			specs[i] = compress
+		}
+	}
+	lat := make([]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			id, err := srv.Submit(specs[i], fmt.Sprintf("tenant%d", i%4))
+			if err != nil {
+				errs[i] = fmt.Errorf("benchreport: serve throughput submit: %w", err)
+				return
+			}
+			st, err := waitServeJob(srv, id)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if st.State != mddserve.StateDone {
+				errs[i] = fmt.Errorf("benchreport: serve job %s ended %s: %s", id, st.State, st.Error)
+			}
+			lat[i] = float64(time.Since(start).Nanoseconds())
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	after := obs.TakeSnapshot()
+	delta := func(name string) float64 {
+		return float64(after.Counter(name) - before.Counter(name))
+	}
+	stats := srv.Stats()
+
+	add("serve.jobs.completed", float64(admStats.Completed+stats.Completed), "jobs", Higher, true)
+	add("serve.jobs.failed", float64(admStats.Failed+stats.Failed), "jobs", Lower, true)
+	add("serve.admission.rejects.queue", float64(admStats.RejectsQueue), "rejects", Lower, true)
+	add("serve.admission.rejects.tenant", float64(admStats.RejectsTenant), "rejects", Lower, true)
+	add("serve.cache.misses", delta("serve.cache.misses"), "builds", Lower, true)
+	add("serve.cache.hits", delta("serve.cache.hits"), "hits", Higher, true)
+	add("serve.throughput.jobs_per_sec", float64(n)/wall, "jobs/s", Higher, false)
+	sort.Float64s(lat)
+	add("serve.job.latency.p50_ns", lat[n/2], "ns", Lower, false)
+	add("serve.job.latency.p99_ns", lat[min(n-1, n*99/100)], "ns", Lower, false)
+	return nil
+}
+
+// waitServeJob polls a job until it reaches a terminal state.
+func waitServeJob(s *mddserve.Server, id string) (mddserve.JobStatus, error) {
+	for {
+		st, ok := s.Status(id)
+		if !ok {
+			return mddserve.JobStatus{}, fmt.Errorf("benchreport: serve job %s vanished", id)
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
 }
 
 // paperScaleMetrics evaluates the calibrated rank distributions on the

@@ -35,6 +35,11 @@ type ResilientOptions struct {
 	// OnCheckpoint, when non-nil, observes each snapshot (e.g. to
 	// persist its Encode()d bytes off-system).
 	OnCheckpoint func(*lsqr.Checkpoint)
+	// Fatal, when non-nil, classifies operator faults that must not be
+	// retried: when it reports true the fault is returned immediately
+	// without consuming a restart. The serving layer uses it to abort a
+	// cancelled job's solve instead of restarting it MaxRestarts times.
+	Fatal func(error) bool
 }
 
 // ResilientOutcome reports a fault-tolerant solve: the solver result
@@ -75,6 +80,9 @@ func InvertResilient(a lsqr.FallibleOperator, b []complex64, opts ResilientOptio
 		if err == nil || err == lsqr.ErrZeroRHS {
 			out.Result = res
 			return out, err
+		}
+		if opts.Fatal != nil && opts.Fatal(err) {
+			return nil, fmt.Errorf("mdd: resilient solve aborted: %w", err)
 		}
 		if out.Restarts >= opts.MaxRestarts {
 			return nil, fmt.Errorf("mdd: resilient solve gave up after %d restarts: %w", out.Restarts, err)

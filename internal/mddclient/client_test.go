@@ -1,0 +1,229 @@
+// Unit tests for the typed client's retry machinery against stub
+// handlers: attempt counting, Retry-After honoring, exponential capping,
+// terminal-vs-retryable classification, and stream resume after a cut
+// connection.
+package mddclient_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/mddclient"
+	"repro/internal/mddserve"
+)
+
+// stub builds a test server from a per-request handler and returns a
+// client whose Sleep records backoff delays instead of sleeping.
+func stub(t *testing.T, opts mddclient.Options, h http.HandlerFunc) (*mddclient.Client, *[]time.Duration) {
+	t.Helper()
+	web := httptest.NewServer(h)
+	t.Cleanup(web.Close)
+	delays := &[]time.Duration{}
+	opts.Sleep = func(d time.Duration) { *delays = append(*delays, d) }
+	return mddclient.New(web.URL, opts), delays
+}
+
+func writeErr(w http.ResponseWriter, status int, code string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(mddserve.ErrorBody{Code: code, Message: code}) //lint:err-ok test stub
+}
+
+func validSpec() mddserve.JobSpec {
+	return mddserve.JobSpec{
+		Type:    mddserve.JobCompress,
+		Dataset: mddserve.DatasetSpec{NsX: 4, NsY: 3, NrX: 3, NrY: 3, Nt: 32},
+	}
+}
+
+func TestRetryOn429HonorsRetryAfter(t *testing.T) {
+	requests := 0
+	client, delays := stub(t, mddclient.Options{MaxAttempts: 5}, func(w http.ResponseWriter, r *http.Request) {
+		requests++
+		if requests <= 2 {
+			w.Header().Set("Retry-After", "2")
+			writeErr(w, http.StatusTooManyRequests, mddserve.CodeQueueFull)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, mddserve.SubmitResponse{ID: "job-1"})
+	})
+
+	id, err := client.Submit(context.Background(), validSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if id != "job-1" {
+		t.Errorf("id = %q", id)
+	}
+	if requests != 3 {
+		t.Errorf("server saw %d requests, want 3", requests)
+	}
+	want := []time.Duration{2 * time.Second, 2 * time.Second}
+	if len(*delays) != len(want) || (*delays)[0] != want[0] || (*delays)[1] != want[1] {
+		t.Errorf("backoff delays = %v, want %v (Retry-After must override the schedule)", *delays, want)
+	}
+}
+
+func TestExponentialBackoffCapped(t *testing.T) {
+	requests := 0
+	client, delays := stub(t, mddclient.Options{
+		MaxAttempts: 5,
+		Backoff:     10 * time.Millisecond,
+		MaxBackoff:  40 * time.Millisecond,
+	}, func(w http.ResponseWriter, r *http.Request) {
+		requests++
+		writeErr(w, http.StatusServiceUnavailable, mddserve.CodeShutdown)
+	})
+
+	_, err := client.Submit(context.Background(), validSpec())
+	var apiErr *mddclient.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("error = %v, want a 503 APIError", err)
+	}
+	if requests != 5 {
+		t.Errorf("server saw %d requests, want MaxAttempts=5", requests)
+	}
+	want := []time.Duration{10, 20, 40, 40}
+	for i := range want {
+		want[i] *= time.Millisecond
+	}
+	if fmt.Sprint(*delays) != fmt.Sprint(want) {
+		t.Errorf("delays = %v, want doubling capped at MaxBackoff %v", *delays, want)
+	}
+}
+
+func TestNoRetryOnTerminalErrors(t *testing.T) {
+	for _, tc := range []struct {
+		status int
+		code   string
+	}{
+		{http.StatusBadRequest, mddserve.CodeBadRequest},
+		{http.StatusRequestEntityTooLarge, mddserve.CodeTooLarge},
+		{http.StatusNotFound, mddserve.CodeNotFound},
+	} {
+		requests := 0
+		client, _ := stub(t, mddclient.Options{MaxAttempts: 5}, func(w http.ResponseWriter, r *http.Request) {
+			requests++
+			writeErr(w, tc.status, tc.code)
+		})
+		_, err := client.Submit(context.Background(), validSpec())
+		var apiErr *mddclient.APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("%d: error = %v, want APIError", tc.status, err)
+		}
+		if apiErr.Code != tc.code || apiErr.Retryable() {
+			t.Errorf("%d: code=%q retryable=%v, want %q/false", tc.status, apiErr.Code, apiErr.Retryable(), tc.code)
+		}
+		if requests != 1 {
+			t.Errorf("%d: server saw %d requests, want 1 (terminal errors must not retry)", tc.status, requests)
+		}
+	}
+}
+
+func TestWaitPollsUntilTerminal(t *testing.T) {
+	polls := 0
+	client, _ := stub(t, mddclient.Options{}, func(w http.ResponseWriter, r *http.Request) {
+		polls++
+		st := mddserve.JobStatus{ID: "job-1", State: mddserve.StateRunning}
+		if polls >= 3 {
+			st.State = mddserve.StateDone
+			st.Result = &mddserve.JobResult{CompressionRatio: 2}
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	st, err := client.Wait(context.Background(), "job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != mddserve.StateDone || polls != 3 {
+		t.Errorf("state=%s after %d polls", st.State, polls)
+	}
+}
+
+func TestStreamResumesAfterCut(t *testing.T) {
+	froms := []string{}
+	handler := func(w http.ResponseWriter, r *http.Request) {
+		froms = append(froms, r.URL.Query().Get("from"))
+		enc := json.NewEncoder(w)
+		if len(froms) == 1 {
+			// First connection: two events, then the connection dies
+			// without a terminal event.
+			_ = enc.Encode(mddserve.Event{Seq: 0, Kind: mddserve.EventState, State: mddserve.StateQueued}) //lint:err-ok test stub
+			_ = enc.Encode(mddserve.Event{Seq: 1, Kind: mddserve.EventResidual, Iter: 1, Residual: 0.5})   //lint:err-ok test stub
+			return
+		}
+		_ = enc.Encode(mddserve.Event{Seq: 2, Kind: mddserve.EventResidual, Iter: 2, Residual: 0.25}) //lint:err-ok test stub
+		_ = enc.Encode(mddserve.Event{Seq: 3, Kind: mddserve.EventState, State: mddserve.StateDone})  //lint:err-ok test stub
+	}
+	client, _ := stub(t, mddclient.Options{MaxAttempts: 3}, handler)
+
+	var seqs []int
+	err := client.Stream(context.Background(), "job-1", 0, func(ev mddserve.Event) error {
+		seqs = append(seqs, ev.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if fmt.Sprint(seqs) != "[0 1 2 3]" {
+		t.Errorf("delivered seqs %v, want [0 1 2 3] with no duplicates", seqs)
+	}
+	if fmt.Sprint(froms) != "[0 2]" {
+		t.Errorf("server saw from=%v, want [0 2] (resume from the first undelivered seq)", froms)
+	}
+}
+
+func TestStreamCallbackErrorStops(t *testing.T) {
+	client, _ := stub(t, mddclient.Options{MaxAttempts: 5}, func(w http.ResponseWriter, r *http.Request) {
+		enc := json.NewEncoder(w)
+		for i := 0; i < 4; i++ {
+			_ = enc.Encode(mddserve.Event{Seq: i, Kind: mddserve.EventResidual, Iter: i}) //lint:err-ok test stub
+		}
+	})
+	boom := errors.New("boom")
+	calls := 0
+	err := client.Stream(context.Background(), "job-1", 0, func(mddserve.Event) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the callback's error surfaced unwrapped", err)
+	}
+	if calls != 2 {
+		t.Errorf("callback ran %d times, want 2 (must stop on error, not retry)", calls)
+	}
+}
+
+func TestContextCancelStopsRetries(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	requests := 0
+	client, _ := stub(t, mddclient.Options{MaxAttempts: 100}, func(w http.ResponseWriter, r *http.Request) {
+		requests++
+		if requests == 2 {
+			cancel()
+		}
+		writeErr(w, http.StatusTooManyRequests, mddserve.CodeQueueFull)
+	})
+	_, err := client.Submit(ctx, validSpec())
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if requests > 3 {
+		t.Errorf("server saw %d requests after cancellation, retries must stop", requests)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v) //lint:err-ok test stub
+}

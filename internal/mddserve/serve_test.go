@@ -1,0 +1,248 @@
+// Unit tests for the server core, below the HTTP layer: spec
+// validation, admission accounting, the queued/running/cancel CAS, and
+// the build-once dataset cache. Internal package so the tests can
+// observe the cache and job records directly.
+package mddserve
+
+import (
+	"testing"
+	"time"
+)
+
+func testSpec(typ JobType) JobSpec {
+	return JobSpec{Type: typ, Dataset: DatasetSpec{NsX: 4, NsY: 3, NrX: 3, NrY: 3, Nt: 32}}
+}
+
+func testConfig() Config {
+	return Config{Workers: 1, BackoffSleep: func(time.Duration) {}}
+}
+
+// wait polls the job's status snapshot until it is terminal.
+func waitTerminal(t *testing.T, s *Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st, ok := s.Status(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*JobSpec)
+		substr string
+	}{
+		{"bad type", func(s *JobSpec) { s.Type = "explode" }, "unknown job type"},
+		{"degenerate grid", func(s *JobSpec) { s.Dataset.NrX = 1 }, "must be >= 2"},
+		{"nt not power of two", func(s *JobSpec) { s.Dataset.Nt = 48 }, "power of two"},
+		{"nt too small", func(s *JobSpec) { s.Dataset.Nt = 8 }, "power of two"},
+		{"negative iters", func(s *JobSpec) { s.Iters = -1 }, "non-negative"},
+		{"vs out of range", func(s *JobSpec) { s.Type = JobMDD; s.VS = 9 }, "virtual source"},
+	}
+	for _, tc := range cases {
+		spec := testSpec(JobCompress)
+		tc.mutate(&spec)
+		err := spec.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, spec)
+			continue
+		}
+		if got := err.Error(); !contains(got, tc.substr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, got, tc.substr)
+		}
+	}
+	good := testSpec(JobMDD)
+	good.VS = 8
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSizeCaps(t *testing.T) {
+	cfg := Config{MaxSources: 12, MaxReceivers: 10, MaxNt: 32, MaxIters: 5, MaxReps: 5}.withDefaults()
+	ok := testSpec(JobCompress)
+	if err := cfg.validateSize(&ok); err != nil {
+		t.Errorf("in-cap spec rejected: %v", err)
+	}
+	big := testSpec(JobCompress)
+	big.Dataset.NsX = 4
+	big.Dataset.NsY = 4 // 16 sources > 10
+	if err := cfg.validateSize(&big); err == nil {
+		t.Error("oversize source grid accepted")
+	}
+	deep := testSpec(JobMDD)
+	deep.Iters = 6
+	if err := cfg.validateSize(&deep); err == nil {
+		t.Error("over-budget iteration count accepted")
+	}
+}
+
+func TestSubmitAppliesDefaults(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	s.Pause()
+	id, err := s.Submit(testSpec(JobMDD), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := s.jobByID(id)
+	if !ok {
+		t.Fatal("job not registered")
+	}
+	if j.tenant != "anonymous" {
+		t.Errorf("empty tenant mapped to %q, want anonymous", j.tenant)
+	}
+	if j.spec.NB != 8 || j.spec.Tol != 1e-4 || j.spec.Iters != 10 || j.spec.Reps != 1 {
+		t.Errorf("defaults not applied: %+v", j.spec)
+	}
+	s.Resume()
+}
+
+func TestCancelQueuedVsWorkerCAS(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	s.Pause()
+	id, err := s.Submit(testSpec(JobCompress), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := s.Cancel(id)
+	if !ok || st.State != StateCancelled {
+		t.Fatalf("cancel of queued job: %+v ok=%v", st, ok)
+	}
+	// Second cancel is a no-op, not a double-finish.
+	st, ok = s.Cancel(id)
+	if !ok || st.State != StateCancelled {
+		t.Fatalf("re-cancel: %+v ok=%v", st, ok)
+	}
+	s.Resume()
+	// The worker must skip the tombstone; a fresh job still runs.
+	id2, err := s.Submit(testSpec(JobCompress), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, s, id2); st.State != StateDone {
+		t.Fatalf("follow-up job ended %s: %s", st.State, st.Error)
+	}
+	stats := s.Stats()
+	if stats.Cancelled != 1 || stats.Completed != 1 {
+		t.Errorf("stats = %+v, want 1 cancelled + 1 completed", stats)
+	}
+	if stats.PeakInflight["t"] != 1 {
+		t.Errorf("peak inflight %d, want 1 (cancel must release the slot before the next submit)",
+			stats.PeakInflight["t"])
+	}
+}
+
+func TestAdmissionRejectsAreDeterministic(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueSize = 2
+	cfg.PerTenantInflight = 2
+	s := New(cfg)
+	defer s.Close()
+	s.Pause()
+
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(testSpec(JobCompress), "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tenant limit fires before queue capacity for the saturated tenant…
+	_, err := s.Submit(testSpec(JobCompress), "a")
+	se, ok := err.(*submitErr)
+	if !ok || se.code != CodeTenantLimit {
+		t.Fatalf("3rd submit for tenant a: %v, want tenant_limit", err)
+	}
+	// …and the full queue rejects everyone else.
+	_, err = s.Submit(testSpec(JobCompress), "b")
+	se, ok = err.(*submitErr)
+	if !ok || se.code != CodeQueueFull {
+		t.Fatalf("submit for tenant b: %v, want queue_full", err)
+	}
+	stats := s.Stats()
+	if stats.RejectsTenant != 1 || stats.RejectsQueue != 1 || stats.QueueDepth != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+	s.Resume()
+}
+
+func TestClosedServerRejectsSubmit(t *testing.T) {
+	s := New(testConfig())
+	s.Close()
+	_, err := s.Submit(testSpec(JobCompress), "t")
+	se, ok := err.(*submitErr)
+	if !ok || se.code != CodeShutdown {
+		t.Fatalf("submit after Close: %v, want shutting_down", err)
+	}
+}
+
+func TestDatasetCacheBuildsOnce(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	ids := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		id, err := s.Submit(testSpec(JobCompress), "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	var ratio float64
+	for i, id := range ids {
+		st := waitTerminal(t, s, id)
+		if st.State != StateDone {
+			t.Fatalf("job %s: %s (%s)", id, st.State, st.Error)
+		}
+		if i == 0 {
+			ratio = st.Result.CompressionRatio
+		} else if st.Result.CompressionRatio != ratio {
+			t.Errorf("cached build must be shared: ratio %g != %g", st.Result.CompressionRatio, ratio)
+		}
+	}
+	s.cacheMu.Lock()
+	n := len(s.cache)
+	s.cacheMu.Unlock()
+	if n != 1 {
+		t.Errorf("cache holds %d builds for one spec key, want 1", n)
+	}
+}
+
+func TestJobTransitionCAS(t *testing.T) {
+	j := &job{state: StateQueued, notify: make(chan struct{})}
+	if !j.transition(StateQueued, StateRunning) {
+		t.Fatal("queued→running must succeed")
+	}
+	if j.transition(StateQueued, StateCancelled) {
+		t.Fatal("stale queued→cancelled must lose the race")
+	}
+	if !j.transition(StateRunning, StateDone) {
+		t.Fatal("running→done must succeed")
+	}
+	if len(j.events) != 2 {
+		t.Errorf("%d state events, want 2", len(j.events))
+	}
+	for i, ev := range j.events {
+		if ev.Seq != i {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+}

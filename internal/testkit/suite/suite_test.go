@@ -1,0 +1,112 @@
+// Tests for the suite runner: hook ordering, per-test T rebinding, and
+// the predicate helpers behind the assertion set.
+package suite
+
+import (
+	"errors"
+	"testing"
+)
+
+// recordingSuite logs every lifecycle call so the harness test can
+// assert ordering.
+type recordingSuite struct {
+	Suite
+	calls *[]string
+}
+
+func (s *recordingSuite) SetupSuite()    { *s.calls = append(*s.calls, "setup-suite") }
+func (s *recordingSuite) TearDownSuite() { *s.calls = append(*s.calls, "teardown-suite") }
+func (s *recordingSuite) SetupTest()     { *s.calls = append(*s.calls, "setup-test") }
+func (s *recordingSuite) TearDownTest()  { *s.calls = append(*s.calls, "teardown-test") }
+
+func (s *recordingSuite) TestAlpha() {
+	*s.calls = append(*s.calls, "alpha")
+	s.Require().NotNil(s.T(), "T must be bound inside a test method")
+}
+
+func (s *recordingSuite) TestBeta() { *s.calls = append(*s.calls, "beta") }
+
+// TestSkippedHelper must not run: it takes an argument.
+func (s *recordingSuite) TestSkippedHelper(int) { *s.calls = append(*s.calls, "skipped") }
+
+func TestRunInvokesHooksInOrder(t *testing.T) {
+	var calls []string
+	Run(t, &recordingSuite{calls: &calls})
+
+	want := []string{
+		"setup-suite",
+		"setup-test", "alpha", "teardown-test",
+		"setup-test", "beta", "teardown-test",
+	}
+	// TearDownSuite runs in a deferred block after Run's loop; subtests
+	// of the same T have completed by then.
+	want = append(want, "teardown-suite")
+	if len(calls) != len(want) {
+		t.Fatalf("calls = %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("call %d = %q, want %q (full: %v)", i, calls[i], want[i], calls)
+		}
+	}
+}
+
+type plainSuite struct{ Suite }
+
+func (s *plainSuite) TestAssertionsPass() {
+	req := s.Require()
+	req.Equal(3, 3)
+	req.NotEqual(3, 4)
+	req.True(true)
+	req.False(false)
+	req.NoError(nil)
+	req.Error(errors.New("x"))
+	req.ErrorContains(errors.New("queue is full"), "full")
+	req.Nil(nil)
+	var typedNil *plainSuite
+	req.Nil(typedNil, "typed nil pointers count as nil")
+	req.NotNil(s)
+	req.Len([]int{1, 2}, 2)
+	req.Empty("")
+	req.NotEmpty("x")
+	req.Contains("backpressure", "press")
+	req.Contains([]string{"a", "b"}, "b")
+	req.Contains(map[string]int{"k": 1}, "k")
+	req.Greater(2, 1)
+	req.GreaterOrEqual(int64(2), int64(2))
+	req.Less(1.0, 1.5)
+	req.LessOrEqual(1, 1)
+	req.InDelta(1.0, 1.0001, 1e-3)
+
+	var apiErr *testError
+	req.ErrorAs(wrap(&testError{msg: "inner"}), &apiErr)
+	req.Equal("inner", apiErr.msg)
+}
+
+type testError struct{ msg string }
+
+func (e *testError) Error() string { return e.msg }
+
+func wrap(err error) error { return errors.Join(errors.New("outer"), err) }
+
+func TestSuiteAssertions(t *testing.T) {
+	Run(t, new(plainSuite))
+}
+
+func TestPredicates(t *testing.T) {
+	if !isEmpty([]int(nil)) || isEmpty([]int{1}) {
+		t.Error("isEmpty slice semantics")
+	}
+	if !isNil((*testing.T)(nil)) || isNil(t) {
+		t.Error("isNil pointer semantics")
+	}
+	if compareNumeric(int8(3), 2.5) != 1 || compareNumeric(uint(1), int64(2)) != -1 || compareNumeric(2, 2.0) != 0 {
+		t.Error("compareNumeric must compare across numeric kinds")
+	}
+	if !containsElement([]int{1, 2}, 2) || containsElement([]int{1}, 9) {
+		t.Error("containsElement slice semantics")
+	}
+	if !objectsEqual([]byte("ab"), []byte("ab")) {
+		t.Error("byte slices compare by content")
+	}
+}
