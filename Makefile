@@ -13,6 +13,7 @@ FUZZ_TARGETS = \
 	internal/precision:FuzzF16RoundTrip \
 	internal/precision:FuzzBF16RoundTrip \
 	internal/tlrio:FuzzRead \
+	internal/tlr:FuzzSoARoundTrip \
 	internal/lsqr:FuzzCheckpointDecode \
 	internal/cgls:FuzzCheckpointDecode \
 	internal/analysis:FuzzCFGBuild

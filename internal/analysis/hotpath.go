@@ -30,10 +30,20 @@ var HotPathSeeds = []HotPathSeed{
 	{Pkg: "internal/tlr", Func: "Matrix.adjointURow", Kernel: "tlr.mulvec_adjoint"},
 	{Pkg: "internal/tlr", Func: "Matrix.adjointVCol", Kernel: "tlr.mulvec_adjoint"},
 	{Pkg: "internal/tlr", Func: "Matrix.MulVecBatched", Kernel: "tlr.mulvec_batched"},
+	{Pkg: "internal/tlr", Func: "Matrix.MulVecBatchedAoS", Kernel: "tlr.mulvec_batched_aos"},
+	{Pkg: "internal/tlr", Func: "Matrix.forwardVColSoA", Kernel: "tlr.mulvec_soa"},
+	{Pkg: "internal/tlr", Func: "Matrix.forwardURowSoA", Kernel: "tlr.mulvec_soa"},
+	{Pkg: "internal/tlr", Func: "Matrix.shuffleColToRow", Kernel: "tlr.mulvec_soa"},
+	{Pkg: "internal/tlr", Func: "Matrix.adjointURowSoA", Kernel: "tlr.mulvec_soa_adjoint"},
+	{Pkg: "internal/tlr", Func: "Matrix.adjointVColSoA", Kernel: "tlr.mulvec_soa_adjoint"},
+	{Pkg: "internal/tlr", Func: "Matrix.shuffleRowToCol", Kernel: "tlr.mulvec_soa_adjoint"},
+	{Pkg: "internal/tlr", Func: "Matrix.normalURowSoA", Kernel: "tlr.mulvec_normal"},
 	{Pkg: "internal/batch", Func: "execute", Kernel: "batch.run"},
 	{Pkg: "internal/batch", Func: "runFourReal", Kernel: "batch.run_fourreal"},
+	{Pkg: "internal/batch", Func: "runSoA", Kernel: "batch.run_soa"},
 	{Pkg: "internal/mdc", Func: "DenseKernel.Apply", Kernel: "mdc.kernel_dense"},
 	{Pkg: "internal/mdc", Func: "TLRKernel.Apply", Kernel: "mdc.kernel_tlr"},
+	{Pkg: "internal/mdc", Func: "TLRKernel.ApplyNormal", Kernel: "mdc.kernel_tlr_normal"},
 	{Pkg: "internal/wsesim", Func: "PE.run", Kernel: "wsesim.mulvec"},
 	{Pkg: "internal/wsesim", Func: "Machine.MulVec", Kernel: "wsesim.mulvec"},
 }

@@ -44,11 +44,21 @@ type MVM struct {
 	M, N  int
 	Alpha complex64
 	A     []complex64
-	LDA   int
-	X     []complex64
-	Beta  complex64
-	Y     []complex64
+	// AR/AI optionally carry the matrix as presplit float32 real and
+	// imaginary planes (the SoA layout of internal/cfloat/soa.go). When
+	// both are set, A may be nil and the member executes on the split
+	// planes directly — no per-member SplitReIm the way FourReal must.
+	// SoA members require Alpha == 1 and Beta == 0; both OpN and OpC are
+	// supported.
+	AR, AI []float32
+	LDA    int
+	X      []complex64
+	Beta   complex64
+	Y      []complex64
 }
+
+// soa reports whether the member carries presplit matrix planes.
+func (t MVM) soa() bool { return t.AR != nil && t.AI != nil }
 
 // work returns the fmac count, the scheduling weight.
 func (t MVM) work() int64 { return int64(t.M) * int64(t.N) }
@@ -60,7 +70,15 @@ func (t MVM) validate(i int) error {
 	if t.LDA < t.M {
 		return fmt.Errorf("batch: MVM %d has lda %d < m %d", i, t.LDA, t.M)
 	}
-	if len(t.A) < t.LDA*(t.N-1)+t.M {
+	need := t.LDA*(t.N-1) + t.M
+	if t.soa() {
+		if len(t.AR) < need || len(t.AI) < need {
+			return fmt.Errorf("batch: MVM %d split matrix planes too short", i)
+		}
+		if t.Alpha != 1 || t.Beta != 0 {
+			return fmt.Errorf("batch: MVM %d SoA member requires alpha=1 beta=0", i)
+		}
+	} else if len(t.A) < need {
 		return fmt.Errorf("batch: MVM %d matrix buffer too short", i)
 	}
 	xin, yout := t.N, t.M
@@ -151,6 +169,10 @@ func Run(tasks []MVM, opts Options) error {
 //
 //lint:hotpath
 func execute(t *MVM, fourReal bool) {
+	if t.AR != nil {
+		runSoA(t)
+		return
+	}
 	if fourReal && t.Oper == OpN && t.Beta == 0 && t.Alpha == 1 && t.LDA == t.M {
 		runFourReal(t)
 		return
@@ -212,6 +234,33 @@ func runFourReal(t *MVM) {
 	cfloat.SplitReIm(t.A[:mn], s.ar[:mn], s.ai[:mn])
 	cfloat.ComplexMVMViaFourRealBuf(t.M, t.N, s.ar[:mn], s.ai[:mn], t.M, t.X, t.Y,
 		s.xr[:t.N], s.xi[:t.N], s.yr[:t.M], s.yi[:t.M])
+	select {
+	case frFree <- s:
+	default:
+	}
+}
+
+// runSoA executes one presplit member: the matrix planes come with the
+// member, so only the vector endpoints are split, into free-list
+// scratch. Registered hot path: the steady state performs no
+// allocations.
+//
+//lint:hotpath
+func runSoA(t *MVM) {
+	var s *frScratch
+	select {
+	case s = <-frFree:
+	default:
+		//lint:alloc-ok one-time checkout when the free list is empty; steady state recycles
+		s = new(frScratch)
+	}
+	k := max(t.M, t.N)
+	s.grow(0, k, k)
+	if t.Oper == OpC {
+		cfloat.GemvConjSoA(t.M, t.N, t.AR, t.AI, t.LDA, t.X, t.Y, s.xr, s.xi, s.yr, s.yi)
+	} else {
+		cfloat.GemvSoA(t.M, t.N, t.AR, t.AI, t.LDA, t.X, t.Y, s.xr, s.xi, s.yr, s.yi)
+	}
 	select {
 	case frFree <- s:
 	default:

@@ -27,6 +27,7 @@ var (
 	obsShardRetries   = obs.NewCounter("batch.shard.retries")
 	obsShardFailovers = obs.NewCounter("batch.shard.failovers")
 	obsShardDeaths    = obs.NewCounter("batch.shard.deaths")
+	obsShardSteals    = obs.NewCounter("batch.shard.steals")
 	obsShardAlive     = obs.NewGauge("batch.shard.alive")
 )
 
@@ -61,6 +62,16 @@ type ShardOptions struct {
 	// successful execution whose output contains NaN is treated as a
 	// shard failure (corrupted-result detection).
 	NoValidate bool
+	// DisableStealing pins every task to the shard it was dealt to
+	// (except death failover), restoring the strict round-robin draining
+	// order. Tasks are normally scheduled work-stealing: each shard owns
+	// a LIFO deque and an idle shard steals the oldest task from the
+	// most-loaded live peer, which bounds the tail when per-task work is
+	// skewed. Outputs are bitwise independent of which shard computes
+	// them, so stealing never changes results — only schedules. The
+	// deterministic failover benchmarks disable it so their retry and
+	// failover counts stay a pure function of the fault schedule.
+	DisableStealing bool
 	// Sleep replaces time.Sleep for the backoff delays (tests inject a
 	// no-op to keep deterministic schedules fast).
 	Sleep func(time.Duration)
@@ -266,19 +277,23 @@ func (r *ShardRunner) Run(tasks []ShardTask, exec ShardExec) error {
 	return err
 }
 
-// worker is the per-shard execution loop.
+// worker is the per-shard execution loop: drain the shard's own deque,
+// then steal; park only when neither yields a task.
 func (r *ShardRunner) worker(shard int, exec ShardExec) {
 	for {
 		r.mu.Lock()
-		for r.fatal == nil && r.remaining > 0 && !r.dead[shard] && len(r.queues[shard]) == 0 {
+		var p pendingTask
+		for {
+			if r.fatal != nil || r.remaining == 0 || r.dead[shard] {
+				r.mu.Unlock()
+				return
+			}
+			var ok bool
+			if p, ok = r.dequeueLocked(shard); ok {
+				break
+			}
 			r.cond.Wait()
 		}
-		if r.fatal != nil || r.remaining == 0 || r.dead[shard] {
-			r.mu.Unlock()
-			return
-		}
-		p := r.queues[shard][0]
-		r.queues[shard] = r.queues[shard][1:]
 		task := r.tasks[p.idx]
 		r.mu.Unlock()
 
@@ -300,6 +315,49 @@ func (r *ShardRunner) worker(shard int, exec ShardExec) {
 		}
 		r.onFailure(shard, p, err)
 	}
+}
+
+// dequeueLocked takes the next task for a shard: the newest entry of its
+// own deque (LIFO — retries and fresh deals run hottest-first), else,
+// unless stealing is disabled, the oldest fresh entry of the most-loaded
+// live peer (FIFO from the victim's cold end, the classic work-stealing
+// split that minimizes contention with the owner). Two carve-outs keep
+// the failure semantics intact under stealing: only fresh tasks (zero
+// attempts) are stealable, so a retried task stays pinned to its shard
+// and the consecutive-failure death policy observes the same executions
+// it would without stealing; and a steal always leaves the victim at
+// least one task, so a misbehaving shard cannot be drained by its peers
+// before it ever executes (and earns its death).
+func (r *ShardRunner) dequeueLocked(shard int) (pendingTask, bool) {
+	if q := r.queues[shard]; len(q) > 0 {
+		p := q[len(q)-1]
+		r.queues[shard] = q[:len(q)-1]
+		return p, true
+	}
+	if r.opts.DisableStealing {
+		return pendingTask{}, false
+	}
+	// best counts only queues holding a stealable entry, so a long
+	// all-retries queue never shadows a shorter stealable one.
+	victim, vidx, best := -1, -1, 1
+	for s := range r.queues {
+		if s == shard || r.dead[s] || len(r.queues[s]) <= best {
+			continue
+		}
+		for k := range r.queues[s] {
+			if r.queues[s][k].attempts == 0 {
+				victim, vidx, best = s, k, len(r.queues[s])
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		return pendingTask{}, false
+	}
+	p := r.queues[victim][vidx]
+	r.queues[victim] = append(r.queues[victim][:vidx], r.queues[victim][vidx+1:]...)
+	obsShardSteals.Add(1)
+	return p, true
 }
 
 // onFailure applies the retry / death / failover policy to one failed

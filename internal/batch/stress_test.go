@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestStressShardRunnerMidFlightRevocation(t *testing.T) {
@@ -80,5 +82,74 @@ func TestStressShardRunnerFlakyExecutors(t *testing.T) {
 	}
 	if r.Alive() != 6 {
 		t.Errorf("alive = %d, want 6", r.Alive())
+	}
+}
+
+// TestStressWorkStealingRankSkew deals one shard ~10x the work of its
+// peers (the rank-skewed tile-row distribution of a real TLR factor) and
+// verifies the idle shards actually steal: the run completes, the steal
+// counter moves, nobody dies, and the outputs are bitwise identical to a
+// strict round-robin (DisableStealing) run of the same task set.
+func TestStressWorkStealingRankSkew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; run via make race-stress")
+	}
+	const shards = 4
+	r, err := NewShardRunner(ShardOptions{Shards: shards, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := NewShardRunner(ShardOptions{Shards: shards, Sleep: noSleep, DisableStealing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wasEnabled := obs.Enabled()
+	obs.Enable()
+	defer func() {
+		if !wasEnabled {
+			obs.Disable()
+		}
+	}()
+
+	// exec simulates skewed per-task cost: tasks dealt round-robin to
+	// shard 0 (ID % shards == 0) dominate the run while the rest are
+	// effectively free, so the other shards drain their deques and go
+	// thieving. The output is a pure function of the task ID, never of
+	// the shard.
+	exec := func(shard int, task ShardTask) error {
+		if task.ID%shards == 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		fill(task)
+		return nil
+	}
+
+	for round := 0; round < 5; round++ {
+		before := obs.TakeSnapshot().Counter("batch.shard.steals")
+		stolen := makeTasks(8*shards, 3)
+		if err := r.Run(stolen, exec); err != nil {
+			t.Fatalf("round %d (stealing): %v", round, err)
+		}
+		checkAllDone(t, stolen)
+		steals := obs.TakeSnapshot().Counter("batch.shard.steals") - before
+		if steals == 0 {
+			t.Fatalf("round %d: rank-skewed run recorded zero steals", round)
+		}
+		if r.Alive() != shards {
+			t.Fatalf("round %d: alive = %d, want %d (stealing must not trip the death policy)", round, r.Alive(), shards)
+		}
+
+		pinned := makeTasks(8*shards, 3)
+		if err := rr.Run(pinned, exec); err != nil {
+			t.Fatalf("round %d (round-robin): %v", round, err)
+		}
+		for i := range stolen {
+			for k := range stolen[i].Y {
+				if stolen[i].Y[k] != pinned[i].Y[k] {
+					t.Fatalf("round %d: task %d output %d differs between stealing and round-robin schedules", round, i, k)
+				}
+			}
+		}
 	}
 }

@@ -167,6 +167,24 @@ func Run(label string, p Profile) (*Report, error) {
 	add("tlr.mvm.batched.ns_op", batNs, "ns/op", Lower, false)
 	add("tlr.mvm.batched.gflops", flops/batNs, "GFlop/s", Higher, false)
 
+	// --- TLR-MVM split-plane (SoA) paths and the fused normal pass ---
+	soaNs := timeOp(p.MVMReps, func() { tm.MulVecSoA(x, y) })
+	add("tlr.mvm.soa.ns_op", soaNs, "ns/op", Lower, false)
+	add("tlr.mvm.soa.gflops", flops/soaNs, "GFlop/s", Higher, false)
+	add("tlr.mvm.soa.gbps", bytes/soaNs, "GB/s", Higher, false)
+
+	yn := make([]complex64, tm.N)
+	normNs := timeOp(p.MVMReps, func() { tm.MulVecNormal(x, yn) })
+	add("tlr.mvm.normal.ns_op", normNs, "ns/op", Lower, false)
+	// the fused AᴴA pass performs the forward and adjoint flop counts
+	add("tlr.mvm.normal.gflops", 2*flops/normNs, "GFlop/s", Higher, false)
+
+	// Layout/blocking facts: pure functions of the deterministic dataset,
+	// the compression options, and the roofline cache parameters, so they
+	// gate — a drift means the layout or the blocking policy changed.
+	add("tlr.mvm.soa.panel_cols", float64(tm.PanelCols()), "cols", Higher, true)
+	add("tlr.mvm.soa.bytes", float64(tm.SoABytes()), "B", Lower, true)
+
 	// --- MDC apply: the per-frequency operator over the TLR kernel ---
 	dk, err := mdc.NewDenseKernel(hds.K)
 	if err != nil {
@@ -270,6 +288,10 @@ func failoverMetrics(add func(name string, value float64, unit, direction string
 	runner, err := batch.NewShardRunner(batch.ShardOptions{
 		Shards: 4,
 		Sleep:  func(time.Duration) {}, // no real backoff: keep the run instant
+		// Stealing would let healthy shards race the faulty one for its
+		// queue, making the failover counts timing-dependent; pinning
+		// tasks keeps them a pure function of the schedule.
+		DisableStealing: true,
 	})
 	if err != nil {
 		return fmt.Errorf("benchreport: shard runner: %w", err)

@@ -78,6 +78,46 @@ func HotPaths() []HotPath {
 				}
 			}, nil
 		}},
+		{Name: "tlr.mulvec_soa", Setup: func() (func(), error) {
+			t, err := hotPathMatrix()
+			if err != nil {
+				return nil, err
+			}
+			x, y := make([]complex64, hotN), make([]complex64, hotM)
+			x[0], x[hotN-1] = 1, 2i
+			return func() { t.MulVecSoA(x, y) }, nil
+		}},
+		{Name: "tlr.mulvec_soa_adjoint", Setup: func() (func(), error) {
+			t, err := hotPathMatrix()
+			if err != nil {
+				return nil, err
+			}
+			x, y := make([]complex64, hotM), make([]complex64, hotN)
+			x[0], x[hotM-1] = 1, 2i
+			return func() { t.MulVecConjTransSoA(x, y) }, nil
+		}},
+		{Name: "tlr.mulvec_normal", Setup: func() (func(), error) {
+			t, err := hotPathMatrix()
+			if err != nil {
+				return nil, err
+			}
+			x, y := make([]complex64, hotN), make([]complex64, hotN)
+			x[0], x[hotN-1] = 1, 2i
+			return func() { t.MulVecNormal(x, y) }, nil
+		}},
+		{Name: "tlr.mulvec_batched_aos", Setup: func() (func(), error) {
+			t, err := hotPathMatrix()
+			if err != nil {
+				return nil, err
+			}
+			x, y := make([]complex64, hotN), make([]complex64, hotM)
+			x[0], x[hotN-1] = 1, 2i
+			return func() {
+				if err := t.MulVecBatchedAoS(x, y, 1); err != nil {
+					panic(err)
+				}
+			}, nil
+		}},
 		{Name: "batch.run", Setup: func() (func(), error) {
 			tasks, err := hotPathBatch()
 			if err != nil {
@@ -96,6 +136,17 @@ func HotPaths() []HotPath {
 			}
 			return func() {
 				if err := batch.Run(tasks, batch.Options{Workers: 1, FourReal: true}); err != nil {
+					panic(err)
+				}
+			}, nil
+		}},
+		{Name: "batch.run_soa", Setup: func() (func(), error) {
+			tasks, err := hotPathBatchSoA()
+			if err != nil {
+				return nil, err
+			}
+			return func() {
+				if err := batch.Run(tasks, batch.Options{Workers: 1}); err != nil {
 					panic(err)
 				}
 			}, nil
@@ -119,6 +170,16 @@ func HotPaths() []HotPath {
 			x, y := make([]complex64, hotN), make([]complex64, hotM)
 			x[0] = 1
 			return func() { k.Apply(0, x, y) }, nil
+		}},
+		{Name: "mdc.kernel_tlr_normal", Setup: func() (func(), error) {
+			t, err := hotPathMatrix()
+			if err != nil {
+				return nil, err
+			}
+			k := &mdc.TLRKernel{Mats: []*tlr.Matrix{t}}
+			x, y := make([]complex64, hotN), make([]complex64, hotN)
+			x[0] = 1
+			return func() { k.ApplyNormal(0, x, y) }, nil
 		}},
 		{Name: "wsesim.mulvec", Setup: func() (func(), error) {
 			t, err := hotPathMatrix()
@@ -156,6 +217,41 @@ func hotPathBatch() ([]batch.MVM, error) {
 		tasks = append(tasks, batch.MVM{
 			Oper: batch.OpN, M: u.Rows, N: u.Cols, Alpha: 1,
 			A: u.Data, LDA: u.Stride, X: x[:u.Cols], Y: make([]complex64, u.Rows),
+		})
+	}
+	return tasks, nil
+}
+
+// hotPathBatchSoA builds the same deterministic batch with each member's
+// matrix carried as presplit float32 planes (batch.MVM.AR/AI), plus one
+// OpC member per tile so both split-plane executors stay under the gate.
+func hotPathBatchSoA() ([]batch.MVM, error) {
+	t, err := hotPathMatrix()
+	if err != nil {
+		return nil, err
+	}
+	var tasks []batch.MVM
+	x := make([]complex64, hotM)
+	for i := range x {
+		x[i] = complex(float32(i%5)-2, float32(i%3))
+	}
+	for _, tile := range t.Tiles {
+		u := tile.U
+		if u.Cols == 0 {
+			continue
+		}
+		ne := u.Stride*(u.Cols-1) + u.Rows
+		ar, ai := make([]float32, ne), make([]float32, ne)
+		for k := 0; k < ne; k++ {
+			ar[k], ai[k] = real(u.Data[k]), imag(u.Data[k])
+		}
+		tasks = append(tasks, batch.MVM{
+			Oper: batch.OpN, M: u.Rows, N: u.Cols, Alpha: 1,
+			AR: ar, AI: ai, LDA: u.Stride, X: x[:u.Cols], Y: make([]complex64, u.Rows),
+		})
+		tasks = append(tasks, batch.MVM{
+			Oper: batch.OpC, M: u.Rows, N: u.Cols, Alpha: 1,
+			AR: ar, AI: ai, LDA: u.Stride, X: x[:u.Rows], Y: make([]complex64, u.Cols),
 		})
 	}
 	return tasks, nil

@@ -101,6 +101,39 @@ func New(a *dense.Matrix, cfg Config) (*Oracle, error) {
 		Tol:     compTol,
 		PairTol: pairTol,
 	})
+	// The stacked split-plane (SoA) paths: same math as the AoS tile
+	// paths, float32 accumulation instead of the complex Gemv's float64 —
+	// ExecTolerance absorbs the difference for the paper-scale ranks.
+	o.Impls = append(o.Impls, Impl{
+		Name: "tlr-soa",
+		Apply: func(x, y []complex64) error {
+			t.MulVecSoA(x, y)
+			return nil
+		},
+		Adjoint: t.MulVecConjTransSoA,
+		Tol:     compTol,
+		PairTol: pairTol,
+	})
+	o.Impls = append(o.Impls, Impl{
+		Name: "tlr-soa-parallel",
+		Apply: func(x, y []complex64) error {
+			t.MulVecSoAParallel(x, y, workers)
+			return nil
+		},
+		Adjoint: func(x, y []complex64) { t.MulVecConjTransSoAParallel(x, y, workers) },
+		Tol:     compTol,
+		PairTol: pairTol,
+	})
+	// The AoS batched formulation kept as the oracle reference for the
+	// stacked SoA MulVecBatched.
+	o.Impls = append(o.Impls, Impl{
+		Name: "tlr-batched-aos",
+		Apply: func(x, y []complex64) error {
+			return t.MulVecBatchedAoS(x, y, workers)
+		},
+		Tol:     compTol,
+		PairTol: pairTol,
+	})
 
 	// MDC operator with a single-frequency dense kernel: must reproduce
 	// the dense reference up to execution-order rounding.
@@ -362,7 +395,32 @@ func (o *Oracle) checkInvariants(rng *rand.Rand) error {
 				impl.Name, gap, adjTol)
 		}
 	}
-	// 2. cycle model: the machine's worst-chunk cycle count must be
+	// 2. fused normal product: MulVecNormal fuses the adjoint∘forward
+	//    composition around a single hot pass over the U panels without
+	//    reordering a single accumulation, so it must reproduce the SoA
+	//    composition bit for bit.
+	{
+		x := Vec(rng, n)
+		ax := make([]complex64, m)
+		comp := make([]complex64, n)
+		fused := make([]complex64, n)
+		o.T.MulVecSoA(x, ax)
+		o.T.MulVecConjTransSoA(ax, comp)
+		o.T.MulVecNormal(x, fused)
+		if d := MaxULPDist(fused, comp); d != 0 {
+			return fmt.Errorf("oracle: fused normal product %d ULPs from SoA adjoint∘forward composition", d)
+		}
+		// The MDC layers above the fused kernel add no arithmetic of their
+		// own (single frequency, unit scale), so they must reproduce the
+		// tlr.Matrix product exactly.
+		normalOp := &mdc.FreqOperator{K: &mdc.TLRKernel{Mats: []*tlr.Matrix{o.T}}, Workers: 1}
+		opOut := make([]complex64, n)
+		normalOp.ApplyNormal(x, opOut)
+		if d := MaxULPDist(opOut, fused); d != 0 {
+			return fmt.Errorf("oracle: FreqOperator.ApplyNormal %d ULPs from the fused TLR normal product", d)
+		}
+	}
+	// 3. cycle model: the machine's worst-chunk cycle count must be
 	//    positive and exactly reproduce the §6.7 strategy-1 formula.
 	var wantCycles int64
 	for _, pe := range o.machine.PEs {
@@ -378,7 +436,7 @@ func (o *Oracle) checkInvariants(rng *rand.Rand) error {
 	if got := o.machine.ModelCycles(); got != wantCycles {
 		return fmt.Errorf("oracle: ModelCycles %d != ChunkCycles recomputation %d", got, wantCycles)
 	}
-	// 3. executed traffic: the meters tallied while the oracle ran must
+	// 4. executed traffic: the meters tallied while the oracle ran must
 	//    equal the §6.6 absolute-bytes prediction from the chunk plan.
 	if o.wsesimMuls > 0 {
 		meter := o.machine.TotalMeter()

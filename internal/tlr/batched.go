@@ -6,14 +6,16 @@ import (
 )
 
 // MulVecBatched computes y = A x by expressing the two TLR-MVM phases as
-// variable-size MVM batches and running them on the batch engine — the
-// execution style the paper says vendor libraries lack for variable ranks
-// and complex types (§4). Phase 1 batches every tile's Vᴴ product; phase 3
-// batches every tile's U product into per-tile scratch segments, which are
-// then reduced into y (batch members must write disjoint outputs). All
-// intermediates come from the per-matrix scratch free list, so the
-// steady-state product performs no allocations. workers <= 0 uses
-// GOMAXPROCS. Registered hot path.
+// variable-size MVM batches over the stacked SoA panels and running them
+// on the batch engine — the execution style the paper says vendor
+// libraries lack for variable ranks and complex types (§4). One member
+// per tile column (Vcatⱼᴴ·x_j into the column-stacked intermediate) and
+// one per tile row (Ucatᵢ·yu_i straight into y's disjoint row blocks):
+// MT+NT presplit members instead of the 2·MT·NT per-tile members of the
+// AoS formulation, with the explicit shuffle in between and no partials
+// reduction. All intermediates come from the per-matrix scratch free
+// list, so the steady-state product performs no allocations. workers <= 0
+// uses GOMAXPROCS. Registered hot path.
 //
 //lint:hotpath
 func (t *Matrix) MulVecBatched(x, y []complex64, workers int) error {
@@ -22,6 +24,77 @@ func (t *Matrix) MulVecBatched(x, y []complex64, workers int) error {
 	}
 	defer obsBatched.Start().End()
 	meterMVM(obsBatMeter, t)
+	l := t.getSoA()
+	s := t.getScratch()
+	// phase 1: yvc segment of column j = Vcatⱼᴴ x_j
+	tasks := s.tasks
+	for j := 0; j < t.NT; j++ {
+		m := t.tileCols(j)
+		base := l.colSeg[j*t.MT]
+		kc := l.colSeg[(j+1)*t.MT] - base
+		if kc == 0 {
+			continue
+		}
+		//lint:alloc-ok the append stays within the MT·NT cap preallocated at scratch init
+		tasks = append(tasks, batch.MVM{
+			Oper: batch.OpC, M: m, N: kc, Alpha: 1,
+			AR: l.vr[l.vOff[j]:l.vOff[j+1]], AI: l.vi[l.vOff[j]:l.vOff[j+1]],
+			LDA: m, X: x[j*t.NB : j*t.NB+m],
+			Y: s.yvc[base : base+kc],
+		})
+	}
+	if err := batch.Run(tasks, batch.Options{Workers: workers}); err != nil {
+		t.putScratch(s)
+		return err
+	}
+	// phase 2: shuffle the column-stacked intermediate into the
+	// row-stacked ordering
+	for j := 0; j < t.NT; j++ {
+		for i := 0; i < t.MT; i++ {
+			c0, c1 := l.colSeg[j*t.MT+i], l.colSeg[j*t.MT+i+1]
+			r0 := t.rankOff[i*t.NT+j]
+			copy(s.yv[r0:r0+c1-c0], s.yvc[c0:c1])
+		}
+	}
+	// phase 3: y_i = Ucatᵢ yu_i, disjoint row blocks — no reduction
+	tasks = tasks[:0]
+	for i := 0; i < t.MT; i++ {
+		rows := t.tileRows(i)
+		base := t.rankOff[i*t.NT]
+		kr := t.rankOff[(i+1)*t.NT] - base
+		yi := y[i*t.NB : i*t.NB+rows]
+		if kr == 0 {
+			for k := range yi {
+				yi[k] = 0
+			}
+			continue
+		}
+		//lint:alloc-ok the append stays within the MT·NT cap preallocated at scratch init
+		tasks = append(tasks, batch.MVM{
+			Oper: batch.OpN, M: rows, N: kr, Alpha: 1,
+			AR: l.ur[l.uOff[i]:l.uOff[i+1]], AI: l.ui[l.uOff[i]:l.uOff[i+1]],
+			LDA: rows, X: s.yv[base : base+kr],
+			Y: yi,
+		})
+	}
+	err := batch.Run(tasks, batch.Options{Workers: workers})
+	t.putScratch(s)
+	return err
+}
+
+// MulVecBatchedAoS is the per-tile array-of-structures batched product
+// kept as the oracle reference for MulVecBatched: phase 1 batches every
+// tile's Vᴴ product, phase 3 batches every tile's U product into
+// per-tile scratch segments, which are then reduced into y (batch
+// members must write disjoint outputs). Registered hot path.
+//
+//lint:hotpath
+func (t *Matrix) MulVecBatchedAoS(x, y []complex64, workers int) error {
+	if len(x) < t.N || len(y) < t.M {
+		panic("tlr: MulVecBatchedAoS vector too short")
+	}
+	defer obsBatAoS.Start().End()
+	meterMVM(obsBatAoSMeter, t)
 	s := t.getScratch()
 	// phase 1: yv segment (i,j) = V_{ij}ᴴ x_j
 	tasks := s.tasks

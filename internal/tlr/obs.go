@@ -16,6 +16,16 @@ var (
 	obsAdjMeter = obs.NewMeter("tlr.mvm_adjoint")
 	obsBatched  = obs.NewTimer("tlr.mvm_batched")
 	obsBatMeter = obs.NewMeter("tlr.mvm_batched")
+
+	obsSoABuild    = obs.NewTimer("tlr.soa.build")
+	obsSoA         = obs.NewTimer("tlr.mvm_soa")
+	obsSoAMeter    = obs.NewMeter("tlr.mvm_soa")
+	obsSoAAdj      = obs.NewTimer("tlr.mvm_soa_adjoint")
+	obsSoAAdjMeter = obs.NewMeter("tlr.mvm_soa_adjoint")
+	obsNormal      = obs.NewTimer("tlr.mvm_normal")
+	obsNormalMeter = obs.NewMeter("tlr.mvm_normal")
+	obsBatAoS      = obs.NewTimer("tlr.mvm_batched_aos")
+	obsBatAoSMeter = obs.NewMeter("tlr.mvm_batched_aos")
 )
 
 // FlopCount returns the floating-point operations of one forward (or

@@ -24,11 +24,24 @@ type mvmScratch struct {
 	// yv holds every tile's projection segment, stacked by tile index:
 	// tile idx owns yv[rankOff[idx]:rankOff[idx+1]].
 	yv []complex64
+	// yvc is the column-stacked counterpart (tile order j-major, offsets
+	// in soaLayout.colSeg), the pre-shuffle intermediate of the stacked
+	// batched path.
+	yvc []complex64
 	// partials holds phase-3 per-tile outputs, stacked by tile index:
 	// tile idx owns partials[partOff[idx]:partOff[idx+1]].
 	partials []complex64
 	// tasks is the reusable batch member list (cap MT·NT).
 	tasks []batch.MVM
+
+	// Split-plane scratch for the SoA kernels (soa.go): the input and
+	// output vectors split once per product (length max(M,N) each) and
+	// the column- and row-stacked intermediate planes (length TotalRank).
+	fxr, fxi   []float32
+	foutR      []float32
+	foutI      []float32
+	ycR, ycI   []float32
+	yuR, yuI   []float32
 }
 
 // ensureScratch computes the stacked-segment offset tables and creates
@@ -66,10 +79,21 @@ func (t *Matrix) getScratch() *mvmScratch {
 	default:
 	}
 	nTiles := t.MT * t.NT
+	tr := t.rankOff[nTiles]
+	mn := max(t.M, t.N)
 	return &mvmScratch{
-		yv:       make([]complex64, t.rankOff[nTiles]),
+		yv:       make([]complex64, tr),
+		yvc:      make([]complex64, tr),
 		partials: make([]complex64, t.partOff[nTiles]),
 		tasks:    make([]batch.MVM, 0, nTiles),
+		fxr:      make([]float32, mn),
+		fxi:      make([]float32, mn),
+		foutR:    make([]float32, mn),
+		foutI:    make([]float32, mn),
+		ycR:      make([]float32, tr),
+		ycI:      make([]float32, tr),
+		yuR:      make([]float32, tr),
+		yuI:      make([]float32, tr),
 	}
 }
 

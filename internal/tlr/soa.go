@@ -1,0 +1,459 @@
+package tlr
+
+// Structure-of-arrays (SoA) TLR-MVM paths. The per-tile U/V bases are
+// re-laid at compress time into the paper's stacked form (Fig. 4): one
+// column-major panel per tile column holding every V base of that column
+// stacked along the rank dimension, and one panel per tile row holding
+// the U bases likewise — each panel split into float32 real/imaginary
+// planes. Two things fall out of the layout:
+//
+//   - Phase 1 and phase 3 become MT+NT long skinny GEMVs over contiguous
+//     stride-1 planes instead of 2·MT·NT per-tile complex products, so
+//     the cfloat four-real inner loops run as unrolled FMA chains with
+//     the vector endpoints split exactly once per product.
+//   - The phase-2 shuffle (Fig. 6) becomes explicit: the column-stacked
+//     intermediate (colSeg offsets) is permuted into the row-stacked
+//     ordering (rankOff offsets) between the two batched phases, which is
+//     the same data movement the CS-2 mapping pays as fabric traffic.
+//
+// Panels are swept in cache blocks of soaLayout.panelCols stacked
+// columns, sized from the roofline cache model so a block plus the
+// resident vectors fits in half the L2; the fused normal pass
+// (MulVecNormal) leans on that residency to stream each U panel's block
+// through the forward and adjoint products back to back.
+//
+// The AoS tile paths (tlr.go, batched.go) are kept untouched as oracle
+// references; the differential tests in internal/testkit pin the SoA
+// variants against them.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cfloat"
+	"repro/internal/roofline"
+)
+
+// soaLayout is the stacked split-plane factor storage of one Matrix.
+type soaLayout struct {
+	// vr/vi hold the V panels: panel j is tileCols(j)×colK(j)
+	// column-major (leading dimension tileCols(j)) at plane offset
+	// vOff[j], tiles stacked in tile-row order along the rank dimension.
+	vr, vi []float32
+	vOff   []int // length NT+1
+	// ur/ui hold the U panels: panel i is tileRows(i)×rowK(i)
+	// column-major (leading dimension tileRows(i)) at plane offset
+	// uOff[i], tiles stacked in tile-column order.
+	ur, ui []float32
+	uOff   []int // length MT+1
+	// colSeg are the column-stacked intermediate offsets, the j-major
+	// counterpart of Matrix.rankOff: tile (i,j) owns
+	// yc[colSeg[j*MT+i]:colSeg[j*MT+i+1]]. Length MT·NT+1.
+	colSeg []int
+	// panelCols is the cache-block width (stacked rank columns per GEMV
+	// panel sweep), quad-aligned, from roofline.Cache.GemvPanelCols.
+	panelCols int
+}
+
+// soaState is embedded in Matrix; like scratchState it keeps the keyed
+// Matrix literals in precision and tlrio valid, so matrices built
+// without Compress convert lazily on their first SoA product.
+type soaState struct {
+	soaReady atomic.Uint32
+	soaMu    sync.Mutex
+	soa      *soaLayout
+}
+
+// EnsureSoA builds the stacked split-plane layout now rather than on the
+// first SoA product. Compress calls it so layout conversion happens at
+// compress time; it is safe and cheap to call again.
+func (t *Matrix) EnsureSoA() { t.getSoA() }
+
+// SoABytes returns the footprint of the stacked split-plane copy of the
+// factors (equal to CompressedBytes: two float32 planes per complex64).
+func (t *Matrix) SoABytes() int64 {
+	l := t.getSoA()
+	return 4 * int64(len(l.vr)+len(l.vi)+len(l.ur)+len(l.ui))
+}
+
+// PanelCols returns the cache-block width of the SoA panel sweeps.
+func (t *Matrix) PanelCols() int { return t.getSoA().panelCols }
+
+// getSoA returns the layout, building it once per Matrix. Same
+// atomic-flag pattern as ensureScratch: the fast path must not allocate.
+func (t *Matrix) getSoA() *soaLayout {
+	if t.soaReady.Load() == 1 {
+		return t.soa
+	}
+	t.buildSoA()
+	return t.soa
+}
+
+func (t *Matrix) buildSoA() {
+	t.soaMu.Lock()
+	defer t.soaMu.Unlock()
+	if t.soaReady.Load() == 1 {
+		return
+	}
+	t.ensureScratch() // rankOff: the row-stacked offsets
+	defer obsSoABuild.Start().End()
+	nTiles := t.MT * t.NT
+	l := &soaLayout{
+		vOff:   make([]int, t.NT+1),
+		uOff:   make([]int, t.MT+1),
+		colSeg: make([]int, nTiles+1),
+	}
+	c := 0
+	for j := 0; j < t.NT; j++ {
+		for i := 0; i < t.MT; i++ {
+			l.colSeg[c+1] = l.colSeg[c] + t.Tile(i, j).Rank()
+			c++
+		}
+	}
+	for j := 0; j < t.NT; j++ {
+		kc := l.colSeg[(j+1)*t.MT] - l.colSeg[j*t.MT]
+		l.vOff[j+1] = l.vOff[j] + t.tileCols(j)*kc
+	}
+	for i := 0; i < t.MT; i++ {
+		kr := t.rankOff[(i+1)*t.NT] - t.rankOff[i*t.NT]
+		l.uOff[i+1] = l.uOff[i] + t.tileRows(i)*kr
+	}
+	l.vr = make([]float32, l.vOff[t.NT])
+	l.vi = make([]float32, l.vOff[t.NT])
+	l.ur = make([]float32, l.uOff[t.MT])
+	l.ui = make([]float32, l.uOff[t.MT])
+	for j := 0; j < t.NT; j++ {
+		ld := t.tileCols(j)
+		dst := l.vOff[j]
+		for i := 0; i < t.MT; i++ {
+			v := t.Tile(i, j).V
+			for kk := 0; kk < v.Cols; kk++ {
+				src := v.Data[kk*v.Stride : kk*v.Stride+ld]
+				for r, z := range src {
+					l.vr[dst+r] = real(z)
+					l.vi[dst+r] = imag(z)
+				}
+				dst += ld
+			}
+		}
+	}
+	for i := 0; i < t.MT; i++ {
+		ld := t.tileRows(i)
+		dst := l.uOff[i]
+		for j := 0; j < t.NT; j++ {
+			u := t.Tile(i, j).U
+			for kk := 0; kk < u.Cols; kk++ {
+				src := u.Data[kk*u.Stride : kk*u.Stride+ld]
+				for r, z := range src {
+					l.ur[dst+r] = real(z)
+					l.ui[dst+r] = imag(z)
+				}
+				dst += ld
+			}
+		}
+	}
+	l.panelCols = roofline.DefaultCache().GemvPanelCols(t.NB, 8)
+	t.soa = l
+	t.soaReady.Store(1)
+}
+
+// MulVecSoA computes y = A x over the stacked split-plane layout,
+// sequentially. x must have length N, y length M.
+func (t *Matrix) MulVecSoA(x, y []complex64) {
+	t.mulVecSoA(x, y, 1)
+}
+
+// MulVecSoAParallel is the parallel SoA forward product (phase 1 over
+// tile columns, phase 3 over tile rows). workers <= 0 uses GOMAXPROCS.
+func (t *Matrix) MulVecSoAParallel(x, y []complex64, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t.mulVecSoA(x, y, workers)
+}
+
+func (t *Matrix) mulVecSoA(x, y []complex64, workers int) {
+	if len(x) < t.N || len(y) < t.M {
+		panic("tlr: MulVecSoA vector too short")
+	}
+	defer obsSoA.Start().End()
+	meterMVM(obsSoAMeter, t)
+	l := t.getSoA()
+	s := t.getScratch()
+	cfloat.SplitReIm(x[:t.N], s.fxr[:t.N], s.fxi[:t.N])
+	// Phase 1: yc segment of column j = Vcatⱼᴴ · x_j, one stacked GEMV
+	// per tile column. Sequential path calls kernels directly — the
+	// parallel closures would cost one allocation per product.
+	if workers <= 1 || t.NT <= 1 {
+		for j := 0; j < t.NT; j++ {
+			t.forwardVColSoA(j, l, s.ycR, s.ycI, s.fxr, s.fxi)
+		}
+	} else {
+		runIndexed(t.NT, workers, func(j int) {
+			t.forwardVColSoA(j, l, s.ycR, s.ycI, s.fxr, s.fxi)
+		})
+	}
+	// Phase 2: explicit shuffle from the column-stacked to the
+	// row-stacked ordering.
+	t.shuffleColToRow(l, s.ycR, s.ycI, s.yuR, s.yuI)
+	// Phase 3: y_i = Ucatᵢ · yu_i, one stacked GEMV per tile row, merged
+	// straight into the caller's y.
+	if workers <= 1 || t.MT <= 1 {
+		for i := 0; i < t.MT; i++ {
+			t.forwardURowSoA(i, l, s.yuR, s.yuI, s.foutR, s.foutI, y)
+		}
+	} else {
+		runIndexed(t.MT, workers, func(i int) {
+			t.forwardURowSoA(i, l, s.yuR, s.yuI, s.foutR, s.foutI, y)
+		})
+	}
+	t.putScratch(s)
+}
+
+// MulVecConjTransSoA computes y = Aᴴ x over the stacked layout,
+// sequentially. x must have length M, y length N.
+func (t *Matrix) MulVecConjTransSoA(x, y []complex64) {
+	t.mulVecConjTransSoA(x, y, 1)
+}
+
+// MulVecConjTransSoAParallel is the parallel SoA adjoint product.
+func (t *Matrix) MulVecConjTransSoAParallel(x, y []complex64, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t.mulVecConjTransSoA(x, y, workers)
+}
+
+func (t *Matrix) mulVecConjTransSoA(x, y []complex64, workers int) {
+	if len(x) < t.M || len(y) < t.N {
+		panic("tlr: MulVecConjTransSoA vector too short")
+	}
+	defer obsSoAAdj.Start().End()
+	meterMVM(obsSoAAdjMeter, t)
+	l := t.getSoA()
+	s := t.getScratch()
+	cfloat.SplitReIm(x[:t.M], s.fxr[:t.M], s.fxi[:t.M])
+	// adjoint phase 1: yu segment of row i = Ucatᵢᴴ · x_i
+	if workers <= 1 || t.MT <= 1 {
+		for i := 0; i < t.MT; i++ {
+			t.adjointURowSoA(i, l, s.fxr, s.fxi, s.yuR, s.yuI)
+		}
+	} else {
+		runIndexed(t.MT, workers, func(i int) {
+			t.adjointURowSoA(i, l, s.fxr, s.fxi, s.yuR, s.yuI)
+		})
+	}
+	t.shuffleRowToCol(l, s.yuR, s.yuI, s.ycR, s.ycI)
+	// adjoint phase 3: y_j = Vcatⱼ · yc segment of column j
+	if workers <= 1 || t.NT <= 1 {
+		for j := 0; j < t.NT; j++ {
+			t.adjointVColSoA(j, l, s.ycR, s.ycI, s.foutR, s.foutI, y)
+		}
+	} else {
+		runIndexed(t.NT, workers, func(j int) {
+			t.adjointVColSoA(j, l, s.ycR, s.ycI, s.foutR, s.foutI, y)
+		})
+	}
+	t.putScratch(s)
+}
+
+// MulVecNormal computes y = Aᴴ(A x), the fused normal product behind the
+// LSQR/CGLS inner iteration: the V panels run the forward phase 1, the
+// shuffled intermediate drives both U products back to back — each
+// cache-resident U block is applied forward (z = Ucatᵢ·yu_i) and
+// immediately adjoint (yu_i ← Ucatᵢᴴ·z) while hot — and the V panels run
+// once more for the adjoint phase 3. One fused pass streams the U planes
+// once per iteration where separate Apply+ApplyAdjoint calls stream them
+// twice (and pay four shuffles instead of two). x and y have length N.
+func (t *Matrix) MulVecNormal(x, y []complex64) {
+	if len(x) < t.N || len(y) < t.N {
+		panic("tlr: MulVecNormal vector too short")
+	}
+	defer obsNormal.Start().End()
+	// two products' worth of flops; the byte meter slightly overstates
+	// the fused pass (U is streamed once, not twice)
+	meterMVM(obsNormalMeter, t)
+	meterMVM(obsNormalMeter, t)
+	l := t.getSoA()
+	s := t.getScratch()
+	cfloat.SplitReIm(x[:t.N], s.fxr[:t.N], s.fxi[:t.N])
+	for j := 0; j < t.NT; j++ {
+		t.forwardVColSoA(j, l, s.ycR, s.ycI, s.fxr, s.fxi)
+	}
+	t.shuffleColToRow(l, s.ycR, s.ycI, s.yuR, s.yuI)
+	for i := 0; i < t.MT; i++ {
+		t.normalURowSoA(i, l, s.yuR, s.yuI, s.foutR, s.foutI)
+	}
+	t.shuffleRowToCol(l, s.yuR, s.yuI, s.ycR, s.ycI)
+	for j := 0; j < t.NT; j++ {
+		t.adjointVColSoA(j, l, s.ycR, s.ycI, s.foutR, s.foutI, y)
+	}
+	t.putScratch(s)
+}
+
+// forwardVColSoA runs SoA phase 1 for tile column j: the column's yc
+// segment = Vcatⱼᴴ · x_j, swept in cache-blocked panels. Registered hot
+// path — must stay allocation-free.
+//
+//lint:hotpath
+func (t *Matrix) forwardVColSoA(j int, l *soaLayout, ycR, ycI, xr, xi []float32) {
+	m := t.tileCols(j)
+	base := l.colSeg[j*t.MT]
+	kc := l.colSeg[(j+1)*t.MT] - base
+	outR := ycR[base : base+kc]
+	outI := ycI[base : base+kc]
+	for k := range outR {
+		outR[k] = 0
+		outI[k] = 0
+	}
+	xjr := xr[j*t.NB : j*t.NB+m]
+	xji := xi[j*t.NB : j*t.NB+m]
+	off := l.vOff[j]
+	for c0 := 0; c0 < kc; c0 += l.panelCols {
+		cw := min(l.panelCols, kc-c0)
+		cfloat.GemvConjSoAAcc(m, cw, l.vr[off+c0*m:], l.vi[off+c0*m:], m,
+			xjr, xji, outR[c0:], outI[c0:])
+	}
+}
+
+// forwardURowSoA runs SoA phase 3 for tile row i: y_i = Ucatᵢ · yu_i,
+// swept in cache-blocked panels and merged into y. Registered hot path —
+// must stay allocation-free.
+//
+//lint:hotpath
+func (t *Matrix) forwardURowSoA(i int, l *soaLayout, yuR, yuI, outR, outI []float32, y []complex64) {
+	rows := t.tileRows(i)
+	base := t.rankOff[i*t.NT]
+	kr := t.rankOff[(i+1)*t.NT] - base
+	or := outR[i*t.NB : i*t.NB+rows]
+	oi := outI[i*t.NB : i*t.NB+rows]
+	for k := range or {
+		or[k] = 0
+		oi[k] = 0
+	}
+	off := l.uOff[i]
+	for c0 := 0; c0 < kr; c0 += l.panelCols {
+		cw := min(l.panelCols, kr-c0)
+		cfloat.GemvSoAAcc(rows, cw, l.ur[off+c0*rows:], l.ui[off+c0*rows:], rows,
+			yuR[base+c0:], yuI[base+c0:], or, oi)
+	}
+	cfloat.MergeReIm(or, oi, y[i*t.NB:i*t.NB+rows])
+}
+
+// adjointURowSoA runs the SoA adjoint phase 1 for tile row i: the row's
+// yu segment = Ucatᵢᴴ · x_i. Registered hot path — must stay
+// allocation-free.
+//
+//lint:hotpath
+func (t *Matrix) adjointURowSoA(i int, l *soaLayout, xr, xi, yuR, yuI []float32) {
+	rows := t.tileRows(i)
+	base := t.rankOff[i*t.NT]
+	kr := t.rankOff[(i+1)*t.NT] - base
+	outR := yuR[base : base+kr]
+	outI := yuI[base : base+kr]
+	for k := range outR {
+		outR[k] = 0
+		outI[k] = 0
+	}
+	xir := xr[i*t.NB : i*t.NB+rows]
+	xii := xi[i*t.NB : i*t.NB+rows]
+	off := l.uOff[i]
+	for c0 := 0; c0 < kr; c0 += l.panelCols {
+		cw := min(l.panelCols, kr-c0)
+		cfloat.GemvConjSoAAcc(rows, cw, l.ur[off+c0*rows:], l.ui[off+c0*rows:], rows,
+			xir, xii, outR[c0:], outI[c0:])
+	}
+}
+
+// adjointVColSoA runs the SoA adjoint phase 3 for tile column j:
+// y_j = Vcatⱼ · yc segment of column j, merged into y. Registered hot
+// path — must stay allocation-free.
+//
+//lint:hotpath
+func (t *Matrix) adjointVColSoA(j int, l *soaLayout, ycR, ycI, outR, outI []float32, y []complex64) {
+	cols := t.tileCols(j)
+	base := l.colSeg[j*t.MT]
+	kc := l.colSeg[(j+1)*t.MT] - base
+	or := outR[j*t.NB : j*t.NB+cols]
+	oi := outI[j*t.NB : j*t.NB+cols]
+	for k := range or {
+		or[k] = 0
+		oi[k] = 0
+	}
+	off := l.vOff[j]
+	for c0 := 0; c0 < kc; c0 += l.panelCols {
+		cw := min(l.panelCols, kc-c0)
+		cfloat.GemvSoAAcc(cols, cw, l.vr[off+c0*cols:], l.vi[off+c0*cols:], cols,
+			ycR[base+c0:], ycI[base+c0:], or, oi)
+	}
+	cfloat.MergeReIm(or, oi, y[j*t.NB:j*t.NB+cols])
+}
+
+// normalURowSoA runs the fused middle of the normal product for tile
+// row i: z = Ucatᵢ · yu_i into the out planes, then yu_i ← Ucatᵢᴴ · z in
+// place — each cache block of the U panel is touched by both products
+// back to back while resident. Registered hot path — must stay
+// allocation-free.
+//
+//lint:hotpath
+func (t *Matrix) normalURowSoA(i int, l *soaLayout, yuR, yuI, outR, outI []float32) {
+	rows := t.tileRows(i)
+	base := t.rankOff[i*t.NT]
+	kr := t.rankOff[(i+1)*t.NT] - base
+	or := outR[i*t.NB : i*t.NB+rows]
+	oi := outI[i*t.NB : i*t.NB+rows]
+	for k := range or {
+		or[k] = 0
+		oi[k] = 0
+	}
+	seg0 := yuR[base : base+kr]
+	seg1 := yuI[base : base+kr]
+	off := l.uOff[i]
+	for c0 := 0; c0 < kr; c0 += l.panelCols {
+		cw := min(l.panelCols, kr-c0)
+		cfloat.GemvSoAAcc(rows, cw, l.ur[off+c0*rows:], l.ui[off+c0*rows:], rows,
+			seg0[c0:], seg1[c0:], or, oi)
+	}
+	// z complete; yu_i is dead, overwrite it with Ucatᵢᴴ z
+	for k := range seg0 {
+		seg0[k] = 0
+		seg1[k] = 0
+	}
+	for c0 := 0; c0 < kr; c0 += l.panelCols {
+		cw := min(l.panelCols, kr-c0)
+		cfloat.GemvConjSoAAcc(rows, cw, l.ur[off+c0*rows:], l.ui[off+c0*rows:], rows,
+			or, oi, seg0[c0:], seg1[c0:])
+	}
+}
+
+// shuffleColToRow permutes the column-stacked intermediate planes into
+// the row-stacked ordering (Fig. 6). Registered hot path — must stay
+// allocation-free.
+//
+//lint:hotpath
+func (t *Matrix) shuffleColToRow(l *soaLayout, srcR, srcI, dstR, dstI []float32) {
+	for j := 0; j < t.NT; j++ {
+		for i := 0; i < t.MT; i++ {
+			s0, s1 := l.colSeg[j*t.MT+i], l.colSeg[j*t.MT+i+1]
+			d0 := t.rankOff[i*t.NT+j]
+			copy(dstR[d0:d0+s1-s0], srcR[s0:s1])
+			copy(dstI[d0:d0+s1-s0], srcI[s0:s1])
+		}
+	}
+}
+
+// shuffleRowToCol is the inverse permutation. Registered hot path — must
+// stay allocation-free.
+//
+//lint:hotpath
+func (t *Matrix) shuffleRowToCol(l *soaLayout, srcR, srcI, dstR, dstI []float32) {
+	for j := 0; j < t.NT; j++ {
+		for i := 0; i < t.MT; i++ {
+			d0, d1 := l.colSeg[j*t.MT+i], l.colSeg[j*t.MT+i+1]
+			s0 := t.rankOff[i*t.NT+j]
+			copy(dstR[d0:d1], srcR[s0:s0+d1-d0])
+			copy(dstI[d0:d1], srcI[s0:s0+d1-d0])
+		}
+	}
+}
