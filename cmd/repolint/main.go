@@ -89,6 +89,16 @@ func runStandalone(analyzers []*analysis.Analyzer) int {
 		return 2
 	}
 
+	// Fixture drift guard: when the analyzed module is the one that hosts
+	// the analysis suite itself, every registered analyzer must ship a
+	// `// want` fixture module — a new analyzer cannot land unpinned.
+	if pkg := mod.PackageBySuffix("internal/analysis"); pkg != nil {
+		if missing := analysis.MissingFixtures(filepath.Join(pkg.Dir, "testdata")); len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "repolint: analyzers without testdata fixture modules: %s\n", strings.Join(missing, ", "))
+			return 1
+		}
+	}
+
 	var diags []analysis.Diagnostic
 	for _, pkg := range mod.SortedPackages() {
 		for _, a := range analyzers {

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -24,13 +25,25 @@ import (
 //     calls, string/[]byte conversions
 //   - defer inside a loop (deferred frames heap-allocate per iteration)
 //
+// With whole-module context the check is transitive: every call site in
+// a hot function must resolve to a callee whose summary (allocsummary.go)
+// is allocation-free all the way down, to a whitelisted stdlib function,
+// or carry a //lint:alloc-ok escape on the call line. Dynamic calls
+// cannot be proven and are rejected. This closes the hole where a helper
+// extracted from a kernel silently reintroduces allocations one level
+// removed from the marked function. A //lint:alloc-ok in a callee's doc
+// comment vouches for that whole function instead — its summary is
+// forced clean at every call site, the right shape for deliberately
+// allocating slow paths (free-list refills, one-time lazy builds).
+//
 // Statements in CFG-dead blocks (after an unconditional return/break)
 // are skipped. Escape hatch: a //lint:alloc-ok <reason> comment on (or
 // directly above) the offending line.
 var AllocFree = &Analyzer{
 	Name: "allocfree",
 	Doc: "require //lint:hotpath-marked and registry-seeded kernel loops to be " +
-		"provably allocation-free (escape: //lint:alloc-ok <reason>)",
+		"provably allocation-free, transitively through every resolvable callee " +
+		"(escape: //lint:alloc-ok <reason>)",
 	Run: runAllocFree,
 }
 
@@ -48,7 +61,7 @@ func runAllocFree(pass *Pass) error {
 		if !isTest {
 			allTestFiles = false
 		}
-		okLines := markerLines(pass.Fset, file, "alloc-ok")
+		okLines := pass.markerLines(file, "alloc-ok")
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
@@ -56,7 +69,7 @@ func runAllocFree(pass *Pass) error {
 			}
 			name := funcDeclName(fn)
 			_, seeded := seedByName[name]
-			marked := docHasMarker(fn.Doc, "hotpath")
+			marked := pass.docHasMarker(fn.Doc, "hotpath")
 			if seeded && !isTest {
 				foundSeeds[name] = true
 				if !marked {
@@ -66,6 +79,7 @@ func runAllocFree(pass *Pass) error {
 			}
 			if marked || seeded {
 				checkAllocFree(pass, fn, okLines)
+				checkTransitiveAllocs(pass, fn, okLines)
 			}
 		}
 	}
@@ -111,23 +125,59 @@ func funcDeclName(fn *ast.FuncDecl) string {
 	}
 }
 
+// allocChecker scans one function body for local allocation sites. It is
+// decoupled from Pass so the same scan can feed pass diagnostics (hot
+// functions), summary facts (every module function, allocsummary.go),
+// and lintlint's stale-escape candidates.
 type allocChecker struct {
-	pass     *Pass
+	fset     *token.FileSet
+	info     *types.Info
 	okLines  map[int]bool
 	results  *ast.FieldList // enclosing function results, for return boxing
 	reported map[token.Pos]bool
+	sink     func(pos token.Pos, format string, args ...any)
 }
 
 func (c *allocChecker) report(pos token.Pos, format string, args ...any) {
-	if c.reported[pos] || c.okLines[c.pass.Fset.Position(pos).Line] {
+	if c.reported[pos] || c.okLines[c.fset.Position(pos).Line] {
 		return
 	}
 	c.reported[pos] = true
-	c.pass.Reportf(pos, format, args...)
+	c.sink(pos, format, args...)
 }
 
 func checkAllocFree(pass *Pass, fn *ast.FuncDecl, okLines map[int]bool) {
-	c := &allocChecker{pass: pass, okLines: okLines, results: fn.Type.Results, reported: map[token.Pos]bool{}}
+	c := &allocChecker{
+		fset: pass.Fset, info: pass.TypesInfo, okLines: okLines,
+		results: fn.Type.Results, reported: map[token.Pos]bool{},
+		sink: pass.Reportf,
+	}
+	c.checkBody(fn)
+}
+
+// allocFinding is one local allocation site, as collected for summaries
+// and lintlint.
+type allocFinding struct {
+	Pos token.Pos
+	Msg string
+}
+
+// collectLocalAllocs runs the local allocation scan over fn and returns
+// the findings instead of reporting them.
+func collectLocalAllocs(fset *token.FileSet, info *types.Info, fn *ast.FuncDecl, okLines map[int]bool) []allocFinding {
+	var out []allocFinding
+	c := &allocChecker{
+		fset: fset, info: info, okLines: okLines,
+		results: fn.Type.Results, reported: map[token.Pos]bool{},
+		sink: func(pos token.Pos, format string, args ...any) {
+			out = append(out, allocFinding{pos, fmt.Sprintf(format, args...)})
+		},
+	}
+	c.checkBody(fn)
+	return out
+}
+
+func (c *allocChecker) checkBody(fn *ast.FuncDecl) {
 	cfg := BuildCFG(fn.Body)
 	for _, b := range cfg.Blocks {
 		if b.Dead {
@@ -162,7 +212,7 @@ func isFuncLit(n ast.Node) bool {
 }
 
 func (c *allocChecker) checkStmt(s ast.Stmt) {
-	info := c.pass.TypesInfo
+	info := c.info
 	switch s := s.(type) {
 	case *ast.GoStmt:
 		c.report(s.Pos(), "go statement allocates a goroutine in a hot path")
@@ -210,7 +260,7 @@ func (c *allocChecker) checkBoxing(to types.Type, val ast.Expr, where string) {
 	if to == nil || !types.IsInterface(to) {
 		return
 	}
-	vt := c.pass.TypesInfo.TypeOf(val)
+	vt := c.info.TypeOf(val)
 	if vt == nil || types.IsInterface(vt) {
 		return
 	}
@@ -221,7 +271,7 @@ func (c *allocChecker) checkBoxing(to types.Type, val ast.Expr, where string) {
 }
 
 func (c *allocChecker) checkExpr(e ast.Expr) {
-	info := c.pass.TypesInfo
+	info := c.info
 	ast.Inspect(e, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
@@ -246,7 +296,7 @@ func (c *allocChecker) checkExpr(e ast.Expr) {
 }
 
 func (c *allocChecker) checkCall(call *ast.CallExpr) {
-	info := c.pass.TypesInfo
+	info := c.info
 	// type conversions: string/[]byte round-trips copy and allocate
 	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
 		switch typeUnder(tv.Type).(type) {

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Transitive layer of allocfree, built on the call graph and summary
+// engine. Every module function gets an allocation fact: nil when its
+// body and everything it can reach are provably allocation-free,
+// otherwise the root reason plus the first hop toward it. A hot-path
+// function is then clean only if each of its call sites resolves to a
+// nil-fact callee or a whitelisted stdlib function. //lint:alloc-ok
+// escapes work at three levels: inside a callee's body (the allocation
+// is accounted for — a slow-path free-list refill, say), on the hot
+// function's call line (that one call site is vouched for), and in a
+// declaration's doc comment (the whole function is vouched for, at
+// every call site).
+
+// allocFact is one function's allocation summary. The zero value (nil
+// pointer) means provably allocation-free, transitively. Reason carries
+// the root-cause description unchanged up the call chain; Via is the
+// immediate callee the allocation is reached through (nil when it is in
+// this function's own body); At is the offending position inside this
+// function. Keeping only one hop per function makes the fact lattice
+// finite — chains are reconstructed afterwards by following Via links —
+// so the fixpoint converges even on recursive call cycles.
+type allocFact struct {
+	Reason string
+	Via    *types.Func
+	At     token.Pos
+}
+
+func allocFactsEqual(a, b *allocFact) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || (a.Reason == b.Reason && a.Via == b.Via && a.At == b.At)
+}
+
+// allocFreeExternal whitelists standard-library callees known not to
+// allocate: pure math, bit twiddling, atomics, plus the individual
+// functions in allocFreeExternalFuncs. Everything else outside the
+// module is conservatively assumed to allocate.
+func allocFreeExternal(fn *types.Func) bool {
+	switch funcPkgPath(fn) {
+	case "math", "math/bits", "math/cmplx", "sync/atomic":
+		return true
+	}
+	return allocFreeExternalFuncs[funcPkgPath(fn)+"."+fn.Name()]
+}
+
+// allocFreeExternalFuncs whitelists single stdlib functions from
+// packages that are not alloc-free as a whole. time.Now and time.Since
+// return plain values off a clock read — the timing spans wrapped
+// around every hot kernel depend on them staying callable.
+var allocFreeExternalFuncs = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+}
+
+// moduleAllocFacts computes (and caches per module) the allocation
+// summary of every declared function. With ignoreEscapes, //lint:alloc-ok
+// lines inside callee bodies stop suppressing — the mode lintlint uses
+// to decide whether an escape still attaches to anything.
+func moduleAllocFacts(m *Module, ignoreEscapes bool) map[*types.Func]*allocFact {
+	key := "allocfacts"
+	if ignoreEscapes {
+		key = "allocfacts:noescape"
+	}
+	return m.Cached(key, func() any {
+		return computeAllocFacts(m, ignoreEscapes)
+	}).(map[*types.Func]*allocFact)
+}
+
+func computeAllocFacts(m *Module, ignoreEscapes bool) map[*types.Func]*allocFact {
+	g := m.CallGraph()
+	okByFile := map[*ast.File]map[int]bool{}
+	okFor := func(pkg *Package, pos token.Pos) map[int]bool {
+		if ignoreEscapes {
+			return nil
+		}
+		f := fileOf(pkg, pos)
+		if f == nil {
+			return nil
+		}
+		ok, seen := okByFile[f]
+		if !seen {
+			ok = markerLines(m.Fset, f, "alloc-ok")
+			okByFile[f] = ok
+		}
+		return ok
+	}
+
+	// Local allocation sites never change across fixpoint rounds;
+	// compute each function's first one up front.
+	local := map[*types.Func]*allocFact{}
+	for _, n := range g.SortedNodes() {
+		findings := collectLocalAllocs(m.Fset, n.Pkg.Info, n.Decl, okFor(n.Pkg, n.Decl.Pos()))
+		if len(findings) == 0 {
+			continue
+		}
+		first := findings[0]
+		for _, f := range findings[1:] {
+			if f.Pos < first.Pos {
+				first = f
+			}
+		}
+		local[n.Fn] = &allocFact{Reason: first.Msg, At: first.Pos}
+	}
+
+	transfer := func(n *FuncNode, get func(*types.Func) *allocFact) *allocFact {
+		// A //lint:alloc-ok in the declaration's doc comment vouches for
+		// the whole function: its summary is forced clean, so hot callers
+		// need no per-call-site escape. Meant for deliberately-allocating
+		// slow paths (free-list refills, one-time lazy builds) whose every
+		// caller would otherwise repeat the same excuse.
+		if !ignoreEscapes && docHasMarker(n.Decl.Doc, "alloc-ok") {
+			return nil
+		}
+		if f := local[n.Fn]; f != nil {
+			return f
+		}
+		for i := range n.Calls {
+			site := &n.Calls[i]
+			ok := okFor(n.Pkg, site.Call.Pos())
+			if ok[m.Fset.Position(site.Call.Pos()).Line] {
+				continue
+			}
+			switch {
+			case site.Dynamic:
+				return &allocFact{
+					Reason: "a dynamic call that cannot be proven allocation-free",
+					At:     site.Call.Pos(),
+				}
+			case site.External != nil:
+				if !allocFreeExternal(site.External) {
+					return &allocFact{
+						Reason: "a call into " + funcDisplayName(site.External) + " outside the alloc-free whitelist",
+						At:     site.Call.Pos(),
+					}
+				}
+			default:
+				if cf := get(site.Callee.Fn); cf != nil {
+					return &allocFact{Reason: cf.Reason, Via: site.Callee.Fn, At: site.Call.Pos()}
+				}
+			}
+		}
+		return nil
+	}
+	return Summarize(g, transfer, allocFactsEqual)
+}
+
+// allocFactPath renders the call chain from fn to the allocation's root
+// cause by following Via links (cycle-guarded).
+func allocFactPath(facts map[*types.Func]*allocFact, fn *types.Func) []string {
+	var names []string
+	seen := map[*types.Func]bool{}
+	for fn != nil && !seen[fn] {
+		seen[fn] = true
+		names = append(names, funcDisplayName(fn))
+		f := facts[fn]
+		if f == nil {
+			break
+		}
+		fn = f.Via
+	}
+	return names
+}
+
+// checkTransitiveAllocs verifies every call site of a hot function
+// against the module summaries. Call lines carrying //lint:alloc-ok are
+// vouched for by the author; everything else must resolve to a clean
+// callee or whitelisted stdlib function. Requires whole-module context:
+// in vettool mode (and on test-variant passes, whose types.Func objects
+// are not the graph's) only the intra-procedural check runs.
+func checkTransitiveAllocs(pass *Pass, fn *ast.FuncDecl, okLines map[int]bool) {
+	if pass.Module == nil || pass.TestVariant {
+		return
+	}
+	tfn, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	node := pass.Module.CallGraph().Nodes[tfn]
+	if node == nil {
+		return
+	}
+	facts := moduleAllocFacts(pass.Module, pass.IgnoreEscapes)
+	reported := map[token.Pos]bool{}
+	for i := range node.Calls {
+		site := &node.Calls[i]
+		pos := site.Call.Pos()
+		if reported[pos] || okLines[pass.Fset.Position(pos).Line] {
+			continue
+		}
+		switch {
+		case site.Dynamic:
+			reported[pos] = true
+			pass.Reportf(pos, "dynamic call in a hot path cannot be proven allocation-free; devirtualize it or annotate //lint:alloc-ok <reason>")
+		case site.External != nil:
+			if funcPkgPath(site.External) == "fmt" {
+				continue // the local fmt rule already reports these
+			}
+			if !allocFreeExternal(site.External) {
+				reported[pos] = true
+				pass.Reportf(pos, "call into %s is outside the alloc-free whitelist and cannot be proven allocation-free; annotate //lint:alloc-ok <reason> or extend allocFreeExternal", funcDisplayName(site.External))
+			}
+		default:
+			if fact := facts[site.Callee.Fn]; fact != nil {
+				reported[pos] = true
+				path := allocFactPath(facts, site.Callee.Fn)
+				suffix := ""
+				if len(path) > 1 {
+					suffix = " (via " + strings.Join(path, ", then ") + ")"
+				}
+				pass.Reportf(pos, "call to %s reaches an allocation: %s%s; hoist it out of the hot path or annotate //lint:alloc-ok <reason>", funcDisplayName(site.Callee.Fn), fact.Reason, suffix)
+			}
+		}
+	}
+}

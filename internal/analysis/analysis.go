@@ -1,6 +1,6 @@
 // Package analysis is the repo's domain-invariant static analysis suite:
 // a small, dependency-free framework in the shape of golang.org/x/tools'
-// go/analysis, plus eight analyzers that turn this repo's correctness
+// go/analysis, plus eleven analyzers that turn this repo's correctness
 // conventions into compiler-checked rules. The conventions exist because
 // the continuous-benchmarking gate (internal/benchreport) and the
 // §6.5–§6.7 cycle/meter invariants treat the machine-model outputs as
@@ -12,7 +12,13 @@
 // three — allocfree, faultflow, lockorder — run on the intra-procedural
 // dataflow engine in cfg.go/dataflow.go: a CFG built from function
 // bodies, a must-reach-a-use analysis for error values, and a forward
-// held-lock-set propagation.
+// held-lock-set propagation. On top of that sits the interprocedural
+// layer (callgraph.go/summary.go): an intra-module call graph over
+// go/types with single-assignment devirtualization and a bottom-up
+// function-summary fixpoint engine. It powers allocfree's transitive
+// mode (a hot path is clean only if everything it reaches is), the
+// goleak goroutine-termination analyzer, and the reqtaint
+// untrusted-size-flow analyzer.
 //
 // The analyzers (see their files for the precise rules):
 //
@@ -35,9 +41,20 @@
 //     SolveFallible, InvertResilient, and CheckedKernel calls must reach
 //     a check on every CFG path (escape: //lint:err-ok).
 //   - lockorder: no mutex held across channel operations or ShardRunner
-//     dispatch in internal/batch, internal/obs, or the serving layer
-//     (internal/mddserve, internal/mddclient, cmd/mddserve)
+//     dispatch in internal/batch, internal/obs, the serving layer
+//     (internal/mddserve, internal/mddclient, cmd/mddserve), examples/,
+//     or the module-root integration/stress suites
 //     (escape: //lint:lock-ok).
+//   - goleak: every go statement in non-test code must have a provable
+//     termination path — a reachable function exit on the goroutine
+//     body's CFG, with diverging callees (for{} loops, empty selects)
+//     cutting paths via call-graph summaries (escape: //lint:goleak-ok).
+//   - reqtaint: values decoded from HTTP request JSON (or parsed from
+//     request queries) in internal/mddserve must not size allocations,
+//     bound loops, or index slices without an intervening bounds check
+//     (escape: //lint:taint-ok).
+//   - lintlint: directive hygiene — unknown/misspelled //lint:
+//     directives and stale escapes that no longer suppress anything.
 //
 // cmd/repolint drives the suite both standalone (whole-module, source
 // type-checked) and as a `go vet -vettool` unitchecker. The framework is
@@ -97,20 +114,33 @@ type Pass struct {
 	// packages in isolation (vettool mode).
 	Module *Module
 
+	// TestVariant marks passes over test-assembled packages (in-package
+	// augmented or external _test packages). Their types.Func objects are
+	// distinct from the module call graph's, so the interprocedural
+	// analyzers skip these passes.
+	TestVariant bool
+
+	// IgnoreEscapes disables //lint: escape suppression (markerLines and
+	// docHasMarker return nothing for escape-kind directives). The
+	// lintlint analyzer re-runs the suite in this mode to learn which
+	// escapes still attach to a diagnostic.
+	IgnoreEscapes bool
+
 	diags *[]Diagnostic
 }
 
 // NewPass assembles a Pass that appends its findings to sink.
 func NewPass(a *Analyzer, fset *token.FileSet, pkg *Package, module *Module, sink *[]Diagnostic) *Pass {
 	return &Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.Info,
-		Path:      pkg.Path,
-		Module:    module,
-		diags:     sink,
+		Analyzer:    a,
+		Fset:        fset,
+		Files:       pkg.Files,
+		Pkg:         pkg.Types,
+		TypesInfo:   pkg.Info,
+		Path:        pkg.Path,
+		Module:      module,
+		TestVariant: pkg.TestVariant,
+		diags:       sink,
 	}
 }
 
@@ -128,7 +158,9 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
-// All returns the full suite in stable order.
+// All returns the full suite in stable order. lintlint runs last: it
+// re-runs the other analyzers (escapes ignored) to detect stale escapes
+// and must never recurse into itself.
 func All() []*Analyzer {
 	return []*Analyzer{
 		ModelDeterminism,
@@ -139,6 +171,9 @@ func All() []*Analyzer {
 		AllocFree,
 		FaultFlow,
 		LockOrder,
+		GoLeak,
+		ReqTaint,
+		LintLint,
 	}
 }
 
@@ -252,6 +287,56 @@ func funcPkgPath(fn *types.Func) string {
 		return ""
 	}
 	return fn.Pkg().Path()
+}
+
+// directiveKind distinguishes directives that opt code in to a rule
+// (markers) from ones that suppress a diagnostic (escapes).
+type directiveKind int
+
+const (
+	directiveMarker directiveKind = iota
+	directiveEscape
+)
+
+// directiveInfo describes one known //lint: directive: its kind and the
+// analyzer that owns it (consults it when reporting). lintlint uses the
+// table both to flag unknown directives and to decide which analyzer's
+// escape-ignored diagnostics an escape must attach to.
+type directiveInfo struct {
+	Kind  directiveKind
+	Owner string
+}
+
+// knownDirectives is the registry of every //lint: directive the suite
+// understands. New analyzers with escapes must register here or lintlint
+// flags their directives as unknown.
+var knownDirectives = map[string]directiveInfo{
+	"hotpath":       {directiveMarker, "allocfree"},
+	"alloc-ok":      {directiveEscape, "allocfree"},
+	"err-ok":        {directiveEscape, "faultflow"},
+	"lock-ok":       {directiveEscape, "lockorder"},
+	"widen-ok":      {directiveEscape, "precwiden"},
+	"oracle-exempt": {directiveEscape, "oraclereg"},
+	"goleak-ok":     {directiveEscape, "goleak"},
+	"taint-ok":      {directiveEscape, "reqtaint"},
+}
+
+// markerLines is the escape-aware form analyzers call: when the pass
+// ignores escapes and the directive is an escape (not an opt-in marker
+// like hotpath), no lines are suppressed.
+func (p *Pass) markerLines(file *ast.File, marker string) map[int]bool {
+	if p.IgnoreEscapes && knownDirectives[marker].Kind == directiveEscape {
+		return map[int]bool{}
+	}
+	return markerLines(p.Fset, file, marker)
+}
+
+// docHasMarker is the escape-aware form of docHasMarker.
+func (p *Pass) docHasMarker(doc *ast.CommentGroup, marker string) bool {
+	if p.IgnoreEscapes && knownDirectives[marker].Kind == directiveEscape {
+		return false
+	}
+	return docHasMarker(doc, marker)
 }
 
 // markerLines collects, per line, whether a "//lint:<marker>" comment

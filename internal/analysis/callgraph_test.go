@@ -1,0 +1,122 @@
+package analysis_test
+
+import (
+	"go/types"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func loadCallGraph(t *testing.T) *analysis.CallGraph {
+	t.Helper()
+	mod, err := analysis.LoadModule("testdata/callgraph", false)
+	if err != nil {
+		t.Fatalf("loading callgraph fixture: %v", err)
+	}
+	return mod.CallGraph()
+}
+
+func nodeNamed(t *testing.T, g *analysis.CallGraph, name string) *analysis.FuncNode {
+	t.Helper()
+	var found *analysis.FuncNode
+	for _, n := range g.SortedNodes() {
+		if n.Fn.Name() == name {
+			if found != nil {
+				t.Fatalf("two nodes named %s", name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node named %s", name)
+	}
+	return found
+}
+
+// calleeNames classifies a node's call sites: module callees by name,
+// external callees as pkg.Name, dynamic sites as "<dynamic>".
+func calleeNames(n *analysis.FuncNode) []string {
+	var out []string
+	for i := range n.Calls {
+		site := &n.Calls[i]
+		switch {
+		case site.Callee != nil:
+			out = append(out, site.Callee.Fn.Name())
+		case site.External != nil:
+			out = append(out, site.External.Pkg().Name()+"."+site.External.Name())
+		case site.Dynamic:
+			out = append(out, "<dynamic>")
+		}
+	}
+	return out
+}
+
+func TestCallGraphClassification(t *testing.T) {
+	g := loadCallGraph(t)
+	cases := []struct {
+		fn   string
+		want []string
+	}{
+		{"direct", []string{"helper"}},
+		{"method", []string{"Do"}},
+		{"devirt", []string{"Do"}}, // devirtualized to valImpl.Do
+		{"rebound", []string{"<dynamic>"}},
+		{"indirect", []string{"<dynamic>"}},
+		{"external", []string{"strings.ToUpper"}},
+		{"builtins", nil}, // make/len/append are not call sites
+		{"inLiteral", []string{"helper", "<dynamic>"}},
+		{"selfLoop", []string{"selfLoop", "helper"}},
+	}
+	for _, c := range cases {
+		n := nodeNamed(t, g, c.fn)
+		got := calleeNames(n)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: call sites %v, want %v", c.fn, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: call sites %v, want %v", c.fn, got, c.want)
+				break
+			}
+		}
+	}
+
+	// devirt resolved to the value implementation, not the interface method
+	devirt := nodeNamed(t, g, "devirt")
+	recv := devirt.Calls[0].Callee.Fn.Type().(*types.Signature).Recv()
+	if recv == nil || recv.Type().String() != "fixture/cg.valImpl" {
+		t.Errorf("devirt callee receiver = %v, want fixture/cg.valImpl", recv)
+	}
+
+	// every call expression indexes back to its site
+	for i := range devirt.Calls {
+		if devirt.Site(devirt.Calls[i].Call) != &devirt.Calls[i] {
+			t.Errorf("Site() does not round-trip for devirt call %d", i)
+		}
+	}
+}
+
+func TestSummarizeFixpoint(t *testing.T) {
+	g := loadCallGraph(t)
+	helper := nodeNamed(t, g, "helper").Fn
+
+	// "reaches helper" propagated bottom-up; selfLoop's recursion must
+	// converge rather than oscillate.
+	facts := analysis.Summarize(g, func(n *analysis.FuncNode, get func(*types.Func) bool) bool {
+		for i := range n.Calls {
+			c := &n.Calls[i]
+			if c.Callee != nil && (c.Callee.Fn == helper || get(c.Callee.Fn)) {
+				return true
+			}
+		}
+		return false
+	}, func(a, b bool) bool { return a == b })
+
+	wantTrue := map[string]bool{"direct": true, "inLiteral": true, "selfLoop": true}
+	for _, n := range g.SortedNodes() {
+		if facts[n.Fn] != wantTrue[n.Fn.Name()] {
+			t.Errorf("reaches-helper fact for %s = %v, want %v", n.Fn.Name(), facts[n.Fn], wantTrue[n.Fn.Name()])
+		}
+	}
+}

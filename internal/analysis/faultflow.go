@@ -27,7 +27,7 @@ var FaultFlow = &Analyzer{
 
 func runFaultFlow(pass *Pass) error {
 	for _, file := range pass.Files {
-		okLines := markerLines(pass.Fset, file, "err-ok")
+		okLines := pass.markerLines(file, "err-ok")
 		walkStack(file, func(n ast.Node, stack []ast.Node) {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {

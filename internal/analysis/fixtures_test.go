@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestFixtureDrift fails when a registered analyzer ships without a
+// fixture module: an unpinned analyzer's diagnostics can drift silently.
+func TestFixtureDrift(t *testing.T) {
+	if missing := analysis.MissingFixtures("testdata"); len(missing) > 0 {
+		t.Errorf("analyzers without testdata/<name> fixture modules: %v", missing)
+	}
+}

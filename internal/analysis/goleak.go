@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// GoLeak requires every goroutine started in non-test code to have a
+// provable termination path. The serving layer's worker pools, the batch
+// scheduler's shards and stealers, and the streaming loops all spawn
+// goroutines whose lifetime must be bounded by something — a drained
+// jobs channel closing a `for range`, a ctx.Done/shutdown select arm, a
+// return after the work item. A goroutine with no path to its function
+// exit outlives every request and accumulates across job submissions:
+// the slow leak chaos tests cannot catch because nothing crashes.
+//
+// The check runs on the goroutine body's CFG: a report fires when some
+// reachable block cannot reach the function exit. Infinite `for {}`
+// loops with no break/return, `for { <-ch }` receive spins (a closed
+// channel yields zero values forever — closing does NOT terminate them,
+// unlike `for range ch`), and empty selects are all traps. Calls to
+// module functions that themselves provably never return (divergence
+// computed bottom-up over the call graph) cut the paths through them.
+// Dynamic or external `go` targets cannot be verified and are reported.
+// Escape: //lint:goleak-ok <reason> on the go statement's line.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc: "require every go statement in non-test code to have a provable " +
+		"termination path on its body's CFG (escape: //lint:goleak-ok <reason>)",
+	NeedsModule: true,
+	Run:         runGoLeak,
+}
+
+func runGoLeak(pass *Pass) error {
+	if pass.Module == nil || pass.TestVariant {
+		return nil
+	}
+	div := moduleDivergence(pass.Module)
+	g := pass.Module.CallGraph()
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		okLines := pass.markerLines(file, "goleak-ok")
+		walkStack(file, func(n ast.Node, stack []ast.Node) {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return
+			}
+			if okLines[pass.Fset.Position(gs.Pos()).Line] {
+				return
+			}
+			node := enclosingNode(pass, g, stack)
+			if node == nil {
+				return
+			}
+			checkGoStmt(pass, g, node, gs, div)
+		})
+	}
+	return nil
+}
+
+// enclosingNode resolves the call-graph node of the declaration the
+// stack is inside (function literals belong to their declaring function).
+func enclosingNode(pass *Pass, g *CallGraph, stack []ast.Node) *FuncNode {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				return g.Nodes[fn]
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+func checkGoStmt(pass *Pass, g *CallGraph, node *FuncNode, gs *ast.GoStmt, div map[*types.Func]bool) {
+	divFn := func(fn *types.Func) bool { return div[fn] }
+	// go func() { ... }(): analyze the literal's body in place; its call
+	// sites live in the enclosing declaration's site map.
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		reportTrap(pass, gs, leakScan(node, lit.Body, divFn))
+		return
+	}
+	site := node.Site(gs.Call)
+	switch {
+	case site == nil:
+		return // go conversion(...) — malformed; nothing to prove
+	case site.Callee != nil:
+		reportTrap(pass, gs, leakScan(site.Callee, site.Callee.Decl.Body, divFn))
+	default:
+		pass.Reportf(gs.Pos(), "cannot statically resolve this goroutine's target to verify termination; name a module function or annotate //lint:goleak-ok <reason>")
+	}
+}
+
+type trapResult struct {
+	trapped bool
+	pos     token.Pos // position inside the trap region, NoPos if none found
+}
+
+func reportTrap(pass *Pass, gs *ast.GoStmt, r trapResult) {
+	if !r.trapped {
+		return
+	}
+	where := ""
+	if r.pos.IsValid() {
+		where = " (stuck from line " + strconv.Itoa(pass.Fset.Position(r.pos).Line) + ")"
+	}
+	pass.Reportf(gs.Pos(), "goroutine has no provable termination path%s: some reachable block never reaches the function exit; add a return, a closable range, or a ctx.Done arm, or annotate //lint:goleak-ok <reason>", where)
+}
+
+// leakScan builds body's CFG and looks for a trap: a block reachable
+// from the entry that cannot reach the exit. Blocks containing a call to
+// a diverging module function never pass control onward.
+func leakScan(node *FuncNode, body *ast.BlockStmt, div func(*types.Func) bool) trapResult {
+	cfg := BuildCFG(body)
+	n := len(cfg.Blocks)
+	divb := make([]bool, n)
+	for _, b := range cfg.Blocks {
+		divb[b.Index] = blockDiverges(node, b, div)
+	}
+	canExit := make([]bool, n)
+	canExit[cfg.Exit.Index] = true
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.Blocks {
+			if canExit[b.Index] || divb[b.Index] {
+				continue
+			}
+			for _, s := range b.Succs {
+				if canExit[s.Index] {
+					canExit[b.Index] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	reach := make([]bool, n)
+	reach[cfg.Entry.Index] = true
+	stack := []*Block{cfg.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if divb[b.Index] {
+			continue // control enters but never leaves
+		}
+		for _, s := range b.Succs {
+			if !reach[s.Index] {
+				reach[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	res := trapResult{}
+	for _, b := range cfg.Blocks {
+		if !reach[b.Index] || canExit[b.Index] {
+			continue
+		}
+		res.trapped = true
+		if p := blockPos(b); p.IsValid() && (!res.pos.IsValid() || p < res.pos) {
+			res.pos = p
+		}
+	}
+	return res
+}
+
+// blockDiverges reports whether executing the block's statements (or
+// condition) calls a function that provably never returns. go and defer
+// statements do not block the current goroutine and are skipped.
+func blockDiverges(node *FuncNode, b *Block, div func(*types.Func) bool) bool {
+	for _, s := range b.Stmts {
+		switch s.(type) {
+		case *ast.GoStmt, *ast.DeferStmt:
+			continue
+		}
+		for _, e := range stmtExprs(nil, s) {
+			if exprHasDivergingCall(node, e, div) {
+				return true
+			}
+		}
+	}
+	return b.Cond != nil && exprHasDivergingCall(node, b.Cond, div)
+}
+
+func exprHasDivergingCall(node *FuncNode, e ast.Expr, div func(*types.Func) bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found || isFuncLit(n) {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if site := node.Site(call); site != nil && site.Callee != nil && div(site.Callee.Fn) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func blockPos(b *Block) token.Pos {
+	for _, s := range b.Stmts {
+		if p := s.Pos(); p.IsValid() {
+			return p
+		}
+	}
+	if b.Cond != nil {
+		return b.Cond.Pos()
+	}
+	return token.NoPos
+}
+
+// moduleDivergence computes, bottom-up over the call graph, which module
+// functions provably never return: their entry cannot reach their exit,
+// with calls to already-diverging functions cutting paths. The zero fact
+// is "terminates", so the fixpoint is monotone and cycles converge.
+func moduleDivergence(m *Module) map[*types.Func]bool {
+	return m.Cached("goleak:diverges", func() any {
+		g := m.CallGraph()
+		eq := func(a, b bool) bool { return a == b }
+		return Summarize(g, func(n *FuncNode, get func(*types.Func) bool) bool {
+			cfg := BuildCFG(n.Decl.Body)
+			canExit := make([]bool, len(cfg.Blocks))
+			canExit[cfg.Exit.Index] = true
+			for changed := true; changed; {
+				changed = false
+				for _, b := range cfg.Blocks {
+					if canExit[b.Index] || blockDiverges(n, b, get) {
+						continue
+					}
+					for _, s := range b.Succs {
+						if canExit[s.Index] {
+							canExit[b.Index] = true
+							changed = true
+							break
+						}
+					}
+				}
+			}
+			return !canExit[cfg.Entry.Index]
+		}, eq)
+	}).(map[*types.Func]bool)
+}

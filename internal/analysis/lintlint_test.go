@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestLintLint(t *testing.T) {
+	analysistest.Run(t, "testdata/lintlint", analysis.LintLint)
+}

@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -29,6 +31,7 @@ type Module struct {
 	Packages map[string]*Package
 
 	importer *moduleImporter
+	cache    map[string]any // Cached artifacts: call graph, summary maps
 }
 
 // Package is one loaded, type-checked package.
@@ -252,7 +255,10 @@ func (im *moduleImporter) load(path string) (*Package, error) {
 	return pkg, nil
 }
 
-// parseDir parses the .go files in dir accepted by keep, in name order.
+// parseDir parses the .go files in dir accepted by keep, in name order,
+// applying the same file-selection rules the go tool would: _GOOS/_GOARCH
+// filename suffixes and //go:build (or legacy // +build) constraints
+// both exclude files that do not match the running toolchain's platform.
 // It returns the files and their package clause names.
 func parseDir(fset *token.FileSet, dir string, keep func(name string) bool) ([]*ast.File, []string, error) {
 	entries, err := os.ReadDir(dir)
@@ -264,17 +270,108 @@ func parseDir(fset *token.FileSet, dir string, keep func(name string) bool) ([]*
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
-			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || !keep(name) {
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || !keep(name) ||
+			excludedByFilename(name) {
 			continue
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, nil, err
 		}
+		if excludedByConstraints(f) {
+			continue
+		}
 		files = append(files, f)
 		names = append(names, f.Name.Name)
 	}
 	return files, names, nil
+}
+
+// goosNames and goarchNames are the platform names recognized in
+// filename suffixes — the released targets, not an exhaustive mirror of
+// the go tool's internal tables.
+var goosNames = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var goarchNames = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// excludedByFilename applies the _GOOS / _GOARCH / _GOOS_GOARCH filename
+// convention: a recognized platform suffix that does not match the
+// running platform excludes the file. Per the go tool's rule, the suffix
+// only counts when something precedes it ("linux.go" is unconstrained).
+func excludedByFilename(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	base = strings.TrimSuffix(base, "_test")
+	parts := strings.Split(base, "_")
+	if len(parts) >= 3 {
+		goos, goarch := parts[len(parts)-2], parts[len(parts)-1]
+		if goosNames[goos] && goarchNames[goarch] {
+			return goos != runtime.GOOS || goarch != runtime.GOARCH
+		}
+	}
+	if len(parts) >= 2 {
+		last := parts[len(parts)-1]
+		if goosNames[last] {
+			return last != runtime.GOOS
+		}
+		if goarchNames[last] {
+			return last != runtime.GOARCH
+		}
+	}
+	return false
+}
+
+// excludedByConstraints evaluates the file's build-constraint comments
+// (those preceding the package clause). Unknown tags — including
+// "ignore" — evaluate false, so a //go:build ignore helper file is
+// skipped exactly as the go tool would.
+func excludedByConstraints(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			if !expr.Eval(buildTagActive) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildTagActive decides one constraint tag for the running toolchain:
+// the current platform, the gc compiler, the unix alias, and any go1.x
+// language-version tag are on; everything else (custom tags, cgo) is off.
+func buildTagActive(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		return unixGOOS[runtime.GOOS]
+	}
+	return strings.HasPrefix(tag, "go1")
 }
 
 // filterPackageClause keeps the files belonging to the non-_test package

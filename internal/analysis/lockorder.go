@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // LockOrder flags mutex acquisitions held across blocking channel
@@ -25,17 +26,26 @@ var LockOrder = &Analyzer{
 	Name: "lockorder",
 	Doc: "flag mutexes held across channel sends/receives or ShardRunner dispatch " +
 		"in internal/batch, internal/obs, internal/mddserve, internal/mddclient, " +
-		"and cmd/mddserve (escape: //lint:lock-ok <reason>)",
-	Run: runLockOrder,
+		"cmd/mddserve, examples/..., and the module-root integration/stress " +
+		"suites (escape: //lint:lock-ok <reason>)",
+	TestFiles: true,
+	Run:       runLockOrder,
 }
 
 func runLockOrder(pass *Pass) error {
-	if !pathMatches(pass.Path, "internal/batch", "internal/obs",
-		"internal/mddserve", "internal/mddclient", "cmd/mddserve") {
+	// The module root hosts the integration/stress suites, which juggle
+	// the same locks and channels as the serving layer they drive.
+	atRoot := !strings.Contains(normalizePath(pass.Path), "/")
+	if pass.Module != nil {
+		atRoot = normalizePath(pass.Path) == pass.Module.Path
+	}
+	if !atRoot && !hasPathSegment(pass.Path, "examples") &&
+		!pathMatches(pass.Path, "internal/batch", "internal/obs",
+			"internal/mddserve", "internal/mddclient", "cmd/mddserve") {
 		return nil
 	}
 	for _, file := range pass.Files {
-		okLines := markerLines(pass.Fset, file, "lock-ok")
+		okLines := pass.markerLines(file, "lock-ok")
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {

@@ -64,7 +64,7 @@ func runOracleReg(pass *Pass) error {
 			if !isKernelEntryShape(pass.TypesInfo, fd) {
 				continue
 			}
-			if docHasMarker(fd.Doc, "oracle-exempt") {
+			if pass.docHasMarker(fd.Doc, "oracle-exempt") {
 				continue
 			}
 			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)

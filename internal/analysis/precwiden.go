@@ -38,7 +38,7 @@ func runPrecWiden(pass *Pass) error {
 		if pass.IsTestFile(file.Pos()) {
 			continue
 		}
-		okLines := markerLines(pass.Fset, file, "widen-ok")
+		okLines := pass.markerLines(file, "widen-ok")
 		walkStack(file, func(n ast.Node, stack []ast.Node) {
 			call, ok := n.(*ast.CallExpr)
 			if !ok || len(call.Args) != 1 {
@@ -51,7 +51,7 @@ func runPrecWiden(pass *Pass) error {
 			if okLines[pass.Fset.Position(call.Pos()).Line] {
 				return
 			}
-			if fd := enclosingFuncDecl(stack); fd != nil && docHasMarker(fd.Doc, "widen-ok") {
+			if fd := enclosingFuncDecl(stack); fd != nil && pass.docHasMarker(fd.Doc, "widen-ok") {
 				return
 			}
 			pass.Reportf(call.Pos(), "silent %s→%s widening in a kernel hot loop changes numerics and modelled traffic; annotate //lint:widen-ok if the accumulation is intentional", from, to)

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestReqTaint(t *testing.T) {
+	analysistest.Run(t, "testdata/reqtaint", analysis.ReqTaint)
+}

@@ -25,7 +25,8 @@ var SeededRand = &Analyzer{
 	Name: "seededrand",
 	Doc: "require explicit deterministic seeds for RNGs in internal/testkit, " +
 		"internal/fault, internal/mddserve, internal/mddclient, cmd/..., " +
-		"benchmarks, and fuzz seeds (no global math/rand, no time-derived seeds)",
+		"examples/..., benchmarks, and fuzz seeds (no global math/rand, no " +
+		"time-derived seeds)",
 	TestFiles: true,
 	Run:       runSeededRand,
 }
@@ -40,7 +41,8 @@ var randConstructors = map[string]bool{
 func runSeededRand(pass *Pass) error {
 	inTestkit := pathMatches(pass.Path, "internal/testkit", "internal/fault",
 		"internal/mddserve", "internal/mddclient") ||
-		hasPathSegment(pass.Path, "cmd")
+		hasPathSegment(pass.Path, "cmd") ||
+		hasPathSegment(pass.Path, "examples")
 	// rand.New(rand.NewSource(bad)) nests two constructors around one
 	// seed expression; report each offending node once.
 	reported := map[token.Pos]bool{}

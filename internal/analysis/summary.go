@@ -1,0 +1,49 @@
+package analysis
+
+import "go/types"
+
+// Bottom-up function-summary fixpoint engine. Analyzers plug a transfer
+// function that computes one fact per declared function from the
+// function's body and its callees' current facts; the engine iterates
+// until nothing changes. Recursion needs no special casing: every fact
+// starts at the zero value ("nothing proven dirty") and the transfer
+// must be monotone — once a fact leaves zero it may refine but never
+// return, so cycles converge by plain iteration. Module-wide results
+// are memoized via Module.Cached, so a suite run pays for each summary
+// family once, not once per package pass.
+
+// Summarize iterates transfer over the graph's nodes (in SortedNodes
+// order, so results are deterministic) until a full round changes no
+// fact. get returns the current fact for any *types.Func — the zero T
+// for functions outside the module (no declared body to summarize).
+func Summarize[T any](g *CallGraph, transfer func(n *FuncNode, get func(*types.Func) T) T, equal func(a, b T) bool) map[*types.Func]T {
+	facts := make(map[*types.Func]T, len(g.Nodes))
+	get := func(fn *types.Func) T { return facts[fn] }
+	nodes := g.SortedNodes()
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			next := transfer(n, get)
+			if !equal(facts[n.Fn], next) {
+				facts[n.Fn] = next
+				changed = true
+			}
+		}
+	}
+	return facts
+}
+
+// Cached memoizes module-scoped computed artifacts (the call graph,
+// summary maps) under a string key. The loader and drivers are
+// single-threaded, so no locking.
+func (m *Module) Cached(key string, build func() any) any {
+	if m.cache == nil {
+		m.cache = map[string]any{}
+	}
+	if v, ok := m.cache[key]; ok {
+		return v
+	}
+	v := build()
+	m.cache[key] = v
+	return v
+}

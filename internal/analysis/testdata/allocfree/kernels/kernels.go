@@ -4,7 +4,12 @@
 // avoids the seeded-registry suffixes so only the marker drives scope.
 package kernels
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
 
 type matrix struct {
 	data []complex64
@@ -64,7 +69,7 @@ func hoisted(x, scratch []complex64) []complex64 {
 func boxed(x []complex64) {
 	var sink any
 	for i := range x {
-		sink = i // want `interface conversion \(boxing\) at assignment`
+		sink = i   // want `interface conversion \(boxing\) at assignment`
 		consume(i) // want `interface conversion \(boxing\) at call argument`
 	}
 	_ = sink
@@ -77,7 +82,7 @@ func consume(v any) {}
 //lint:hotpath
 func closureCapture(x []complex64) {
 	f := func() { x[0] = 0 } // want `function literal allocates a closure`
-	go f()                   // want `go statement allocates a goroutine`
+	go f()                   // want `go statement allocates a goroutine` `dynamic call in a hot path`
 }
 
 // formatted calls fmt and a variadic function in the loop body.
@@ -126,4 +131,79 @@ func deadCode(x []complex64) []complex64 {
 func unmarked(n int) []complex64 {
 	out := make([]complex64, n)
 	return append(out, 0)
+}
+
+// scale is a clean helper: the hot path may call it freely.
+func scale(m *matrix, alpha complex64) {
+	for i := range m.data {
+		m.data[i] *= alpha
+	}
+}
+
+// refill allocates, two levels below the hot entry point.
+func refill(m *matrix) {
+	m.data = make([]complex64, m.rows*m.rows)
+}
+
+// prepare is itself allocation-free but reaches refill's make.
+func prepare(m *matrix) {
+	refill(m)
+}
+
+// vouched allocates but carries an in-body escape: its summary stays
+// clean, so hot callers pass without annotating every call site.
+func vouched(m *matrix) {
+	//lint:alloc-ok refill happens at most once per epoch, off the steady path
+	m.data = append(m.data, 0)
+}
+
+// transitive exercises the summary layer: a clean direct callee is
+// fine, a two-level chain to an allocation is not, whitelisted stdlib
+// math is fine, and other stdlib packages are not provable.
+//
+//lint:hotpath
+func transitive(m *matrix, alpha complex64) {
+	scale(m, alpha)
+	prepare(m) // want `call to kernels\.prepare reaches an allocation: make allocates in a hot path \(via kernels\.prepare, then kernels\.refill\)`
+	vouched(m)
+	_ = strconv.FormatFloat(float64(real(alpha)), 'g', -1, 64) // want `call into strconv\.FormatFloat is outside the alloc-free whitelist`
+}
+
+// whitelisted calls only math, which the whitelist admits.
+//
+//lint:hotpath
+func whitelisted(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// checkout allocates on a pool miss; the doc-level escape vouches for
+// the whole function, so hot callers need no per-call-site annotation.
+//
+//lint:alloc-ok pool-miss fallback; the steady state recycles buffers
+func checkout(m *matrix) []complex64 {
+	return make([]complex64, m.rows)
+}
+
+// timed exercises the function-level stdlib whitelist (time.Now and
+// time.Since return plain values) and a doc-vouched callee: no
+// diagnostics.
+//
+//lint:hotpath
+func timed(m *matrix) time.Duration {
+	t0 := time.Now()
+	buf := checkout(m)
+	buf[0] = 0
+	return time.Since(t0)
+}
+
+// escaped vouches for a dirty callee at the call site.
+//
+//lint:hotpath
+func escaped(m *matrix) {
+	//lint:alloc-ok warm-up call outside the measured region
+	prepare(m)
 }

@@ -1,0 +1,70 @@
+// Package cg is the call-graph construction fixture: one function per
+// call-site classification the graph must get right.
+package cg
+
+import "strings"
+
+type doer interface{ Do() int }
+
+type valImpl struct{}
+
+func (valImpl) Do() int { return 1 }
+
+type ptrImpl struct{ n int }
+
+func (p *ptrImpl) Do() int { return p.n }
+
+func helper() int { return 41 }
+
+// direct calls a package function.
+func direct() int { return helper() + 1 }
+
+// method calls a concrete method through a value.
+func method() int {
+	var v valImpl
+	return v.Do()
+}
+
+// devirt binds an interface variable exactly once to a concrete type:
+// the call resolves to valImpl.Do.
+func devirt() int {
+	var d doer = valImpl{}
+	return d.Do()
+}
+
+// rebound writes the interface twice: the call stays dynamic.
+func rebound(flip bool) int {
+	var d doer = valImpl{}
+	if flip {
+		d = &ptrImpl{n: 2}
+	}
+	return d.Do()
+}
+
+// indirect calls a function-typed parameter: dynamic.
+func indirect(f func() int) int { return f() }
+
+// external calls into the standard library.
+func external(s string) string { return strings.ToUpper(s) }
+
+// builtins never form call sites.
+func builtins(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	return append(out, xs...)
+}
+
+// inLiteral nests calls inside a function literal: they belong to the
+// enclosing declaration's node, and invoking the literal variable is
+// dynamic.
+func inLiteral() int {
+	f := func() int { return helper() }
+	return f()
+}
+
+// selfLoop recurses: the summary fixpoint must converge on the cycle.
+func selfLoop(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return selfLoop(n-1) + helper()
+}

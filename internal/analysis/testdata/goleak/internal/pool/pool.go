@@ -1,0 +1,118 @@
+// Package pool exercises the goleak goroutine-termination rules: every
+// go statement must have a provable termination path on the goroutine
+// body's CFG, with //lint:goleak-ok as the per-line escape.
+package pool
+
+import "context"
+
+// drainRange terminates: `for range ch` exits when the channel closes.
+func drainRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			consume(v)
+		}
+	}()
+}
+
+// spinForever traps: an infinite for with no break or return.
+func spinForever() {
+	go func() { // want `goroutine has no provable termination path`
+		for {
+			work()
+		}
+	}()
+}
+
+// recvSpin traps: `for { <-ch }` never exits — a closed channel yields
+// zero values forever, unlike a closed range.
+func recvSpin(ch chan int) {
+	go func() { // want `goroutine has no provable termination path`
+		for {
+			<-ch
+		}
+	}()
+}
+
+// emptySelect traps: select{} blocks forever.
+func emptySelect() {
+	go func() { // want `goroutine has no provable termination path`
+		select {}
+	}()
+}
+
+// ctxWorker terminates: the ctx.Done arm returns.
+func ctxWorker(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				consume(v)
+			}
+		}
+	}()
+}
+
+// bounded terminates: plain counted loop then falls off the end.
+func bounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			work()
+		}
+	}()
+}
+
+// namedWorker terminates: the named module function drains a range.
+func namedWorker(ch chan int) {
+	go drain(ch)
+}
+
+func drain(ch chan int) {
+	for v := range ch {
+		consume(v)
+	}
+}
+
+// namedSpinner traps through a named module function whose body spins.
+func namedSpinner() {
+	go spin() // want `goroutine has no provable termination path`
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+// twoLevels traps through a terminating-looking wrapper that calls a
+// diverging function: divergence summaries cut the path through run.
+func twoLevels() {
+	go run() // want `goroutine has no provable termination path`
+}
+
+func run() {
+	setup()
+	spin()
+}
+
+func setup() {}
+
+// dynamicTarget is unverifiable: the goroutine target is a parameter.
+func dynamicTarget(f func()) {
+	go f() // want `cannot statically resolve this goroutine's target`
+}
+
+// escaped documents an intentional daemon.
+func escaped() {
+	//lint:goleak-ok metrics flusher runs for the process lifetime by design
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+func consume(int) {}
+
+func work() {}

@@ -1,0 +1,9 @@
+// Package fault is a minimal stand-in for the fault-injection layer
+// (path suffix internal/fault) so that faultflow produces candidate
+// diagnostics for the staleness checks next door.
+package fault
+
+import "errors"
+
+// Inject fires the next scheduled fault.
+func Inject() error { return errors.New("injected") }

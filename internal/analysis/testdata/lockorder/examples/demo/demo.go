@@ -1,0 +1,24 @@
+// Package main exercises the examples/ scope: example programs juggle
+// the same locks and channels as the serving layer they demonstrate.
+package main
+
+import "sync"
+
+type relay struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (r *relay) held() {
+	r.mu.Lock()
+	r.ch <- 1 // want `channel send while holding r\.mu`
+	r.mu.Unlock()
+}
+
+func (r *relay) released() {
+	r.mu.Lock()
+	r.mu.Unlock()
+	r.ch <- 1
+}
+
+func main() {}

@@ -1,0 +1,27 @@
+// Module-root integration-suite stand-in: the root test files drive the
+// serving layer and are in lockorder's scope.
+package rootsuite
+
+import (
+	"sync"
+	"testing"
+)
+
+type harness struct {
+	mu   sync.Mutex
+	jobs chan int
+}
+
+func TestHoldsAcrossSend(t *testing.T) {
+	h := &harness{jobs: make(chan int, 1)}
+	h.mu.Lock()
+	h.jobs <- 1 // want `channel send while holding h\.mu`
+	h.mu.Unlock()
+}
+
+func TestReleasesFirst(t *testing.T) {
+	h := &harness{jobs: make(chan int, 1)}
+	h.mu.Lock()
+	h.mu.Unlock()
+	h.jobs <- 1
+}

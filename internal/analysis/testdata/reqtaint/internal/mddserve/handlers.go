@@ -1,0 +1,171 @@
+// Package mddserve exercises the reqtaint rules: request-decoded values
+// must not size allocations, bound loops, or slice without a bounds
+// check, with //lint:taint-ok as the per-line escape.
+package mddserve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+const maxBatch = 1 << 16
+
+var errBad = errors.New("bad spec")
+
+type jobSpec struct {
+	N    int
+	Reps int
+}
+
+// Validate is the admission check: calling it marks the spec trusted.
+func (s *jobSpec) Validate() error {
+	if s.N <= 0 || s.N > maxBatch {
+		return errBad
+	}
+	return nil
+}
+
+// clampReps bounds its argument: calling it marks the argument trusted.
+func clampReps(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > maxBatch {
+		return maxBatch
+	}
+	return n
+}
+
+// newGrid turns its argument into an allocation size: passing a tainted
+// value in is as bad as calling make directly.
+func newGrid(n int) []float64 {
+	return make([]float64, n*n)
+}
+
+func snapshot() []int { return make([]int, 64) }
+
+// handleAlloc sizes an allocation straight from the decoded spec.
+func handleAlloc(w http.ResponseWriter, r *http.Request) {
+	var spec jobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		return
+	}
+	buf := make([]float64, spec.N) // want `request-tainted spec flows into a make size`
+	_ = buf
+}
+
+// handleLoop bounds a loop with an unchecked query integer.
+func handleLoop(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.URL.Query().Get("n"))
+	if err != nil {
+		return
+	}
+	total := 0
+	for i := 0; i < n; i++ { // want `request-tainted n flows into a loop bound`
+		total += i
+	}
+	_ = total
+}
+
+// handleRange ranges over an unchecked query integer.
+func handleRange(w http.ResponseWriter, r *http.Request) {
+	reps, err := strconv.Atoi(r.URL.Query().Get("reps"))
+	if err != nil {
+		return
+	}
+	for range reps { // want `request-tainted reps flows into a loop bound`
+		snapshot()
+	}
+}
+
+// handleWindow slices with an unchecked query integer.
+func handleWindow(w http.ResponseWriter, r *http.Request) {
+	from, err := strconv.Atoi(r.URL.Query().Get("from"))
+	if err != nil {
+		return
+	}
+	events := snapshot()
+	pending := events[from:] // want `request-tainted from flows into a slice bound`
+	_ = pending
+}
+
+// handleHelper reaches make through a sized helper: the summary layer
+// flags the argument position.
+func handleHelper(w http.ResponseWriter, r *http.Request) {
+	var spec jobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		return
+	}
+	grid := newGrid(spec.N) // want `request-tainted spec flows into an allocation-sizing parameter of mddserve\.newGrid`
+	_ = grid
+}
+
+// handleUnmarshal taints through json.Unmarshal rather than a decoder.
+func handleUnmarshal(w http.ResponseWriter, r *http.Request, body []byte) {
+	var spec jobSpec
+	err := json.Unmarshal(body, &spec)
+	if err != nil {
+		return
+	}
+	out := make([]float64, spec.N) // want `request-tainted spec flows into a make size`
+	_ = out
+}
+
+// handleChecked compares the value first: both branches continue with
+// it trusted, so the allocation below is fine.
+func handleChecked(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.URL.Query().Get("n"))
+	if err != nil || n < 0 || n > maxBatch {
+		http.Error(w, "bad n", http.StatusBadRequest)
+		return
+	}
+	buf := make([]float64, n)
+	_ = buf
+}
+
+// handleValidated trusts the spec after its admission check.
+func handleValidated(w http.ResponseWriter, r *http.Request) {
+	var spec jobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		return
+	}
+	out := make([]float64, spec.N)
+	_ = out
+}
+
+// handleClamped trusts the value after the clamping helper sees it.
+func handleClamped(w http.ResponseWriter, r *http.Request) {
+	reps, err := strconv.Atoi(r.URL.Query().Get("reps"))
+	if err != nil {
+		return
+	}
+	reps = clampReps(reps)
+	for i := 0; i < reps; i++ {
+		snapshot()
+	}
+}
+
+// handleIndex uses the value as a plain index: runtime bounds checks
+// cover that, only slice headers and sizes are sinks.
+func handleIndex(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.URL.Query().Get("n"))
+	if err != nil {
+		return
+	}
+	table := snapshot()
+	v := table[n%len(table)]
+	_ = v
+}
+
+// handleEscaped documents an upstream guarantee instead of checking.
+func handleEscaped(w http.ResponseWriter, r *http.Request) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	//lint:taint-ok n is capped by the reverse proxy's query filter
+	buf := make([]float64, n)
+	_ = buf
+}

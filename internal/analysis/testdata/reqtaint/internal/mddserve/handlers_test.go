@@ -1,0 +1,15 @@
+package mddserve
+
+import (
+	"net/http"
+	"strconv"
+	"testing"
+)
+
+// Test files are out of scope: tests feed themselves trusted inputs.
+func TestAllocFromQuery(t *testing.T) {
+	r, _ := http.NewRequest(http.MethodGet, "/?n=4", nil)
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	buf := make([]float64, n)
+	_ = buf
+}

@@ -1,0 +1,21 @@
+// Package main exercises the examples/ scope: example programs are part
+// of the reproducibility surface and must seed deterministically.
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func nondeterministic() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `RNG seeded from a wall-clock timestamp is different every run`
+}
+
+func deterministic(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func main() {
+	_ = nondeterministic()
+	_ = deterministic(42)
+}

@@ -109,6 +109,8 @@ type Options struct {
 
 // Run executes every MVM of the batch. Members must write to disjoint Y
 // slices (the usual TLR-MVM batches do: one output segment per tile).
+//
+//lint:alloc-ok the dispatch channel and worker goroutines are the engine's per-Run overhead, amortized across the whole batch; per-member work is allocation-free
 func Run(tasks []MVM, opts Options) error {
 	var total int64
 	for i := range tasks {
@@ -196,6 +198,8 @@ type frScratch struct {
 // grow ensures capacity; it lives outside the hot-path marker because
 // the (re)allocations happen only while buffers ratchet up to the
 // workload's steady-state shape.
+//
+//lint:alloc-ok buffers ratchet monotonically; a steady-state workload stops allocating after warm-up
 func (s *frScratch) grow(mn, m, n int) {
 	if cap(s.ar) < mn {
 		s.ar = make([]float32, mn)

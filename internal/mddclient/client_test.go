@@ -32,7 +32,7 @@ func stub(t *testing.T, opts mddclient.Options, h http.HandlerFunc) (*mddclient.
 func writeErr(w http.ResponseWriter, status int, code string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(mddserve.ErrorBody{Code: code, Message: code}) //lint:err-ok test stub
+	_ = json.NewEncoder(w).Encode(mddserve.ErrorBody{Code: code, Message: code})
 }
 
 func validSpec() mddserve.JobSpec {
@@ -154,12 +154,12 @@ func TestStreamResumesAfterCut(t *testing.T) {
 		if len(froms) == 1 {
 			// First connection: two events, then the connection dies
 			// without a terminal event.
-			_ = enc.Encode(mddserve.Event{Seq: 0, Kind: mddserve.EventState, State: mddserve.StateQueued}) //lint:err-ok test stub
-			_ = enc.Encode(mddserve.Event{Seq: 1, Kind: mddserve.EventResidual, Iter: 1, Residual: 0.5})   //lint:err-ok test stub
+			_ = enc.Encode(mddserve.Event{Seq: 0, Kind: mddserve.EventState, State: mddserve.StateQueued})
+			_ = enc.Encode(mddserve.Event{Seq: 1, Kind: mddserve.EventResidual, Iter: 1, Residual: 0.5})
 			return
 		}
-		_ = enc.Encode(mddserve.Event{Seq: 2, Kind: mddserve.EventResidual, Iter: 2, Residual: 0.25}) //lint:err-ok test stub
-		_ = enc.Encode(mddserve.Event{Seq: 3, Kind: mddserve.EventState, State: mddserve.StateDone})  //lint:err-ok test stub
+		_ = enc.Encode(mddserve.Event{Seq: 2, Kind: mddserve.EventResidual, Iter: 2, Residual: 0.25})
+		_ = enc.Encode(mddserve.Event{Seq: 3, Kind: mddserve.EventState, State: mddserve.StateDone})
 	}
 	client, _ := stub(t, mddclient.Options{MaxAttempts: 3}, handler)
 
@@ -183,7 +183,7 @@ func TestStreamCallbackErrorStops(t *testing.T) {
 	client, _ := stub(t, mddclient.Options{MaxAttempts: 5}, func(w http.ResponseWriter, r *http.Request) {
 		enc := json.NewEncoder(w)
 		for i := 0; i < 4; i++ {
-			_ = enc.Encode(mddserve.Event{Seq: i, Kind: mddserve.EventResidual, Iter: i}) //lint:err-ok test stub
+			_ = enc.Encode(mddserve.Event{Seq: i, Kind: mddserve.EventResidual, Iter: i})
 		}
 	})
 	boom := errors.New("boom")
@@ -225,5 +225,5 @@ func TestContextCancelStopsRetries(t *testing.T) {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v) //lint:err-ok test stub
+	_ = json.NewEncoder(w).Encode(v)
 }

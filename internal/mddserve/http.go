@@ -43,7 +43,7 @@ func (s *Server) Handler() http.Handler {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v) //lint:err-ok response already committed; nothing to report to
+	_ = json.NewEncoder(w).Encode(v) // response already committed; nothing to report to
 }
 
 // writeError maps a service error code onto its HTTP status.

@@ -37,11 +37,11 @@ type mvmScratch struct {
 	// Split-plane scratch for the SoA kernels (soa.go): the input and
 	// output vectors split once per product (length max(M,N) each) and
 	// the column- and row-stacked intermediate planes (length TotalRank).
-	fxr, fxi   []float32
-	foutR      []float32
-	foutI      []float32
-	ycR, ycI   []float32
-	yuR, yuI   []float32
+	fxr, fxi []float32
+	foutR    []float32
+	foutI    []float32
+	ycR, ycI []float32
+	yuR, yuI []float32
 }
 
 // ensureScratch computes the stacked-segment offset tables and creates
@@ -71,6 +71,8 @@ func (t *Matrix) ensureScratch() {
 // getScratch checks a scratch set out of the free list, allocating a
 // fresh one when the list is empty (first calls and bursts of
 // concurrent products beyond the pool capacity).
+//
+//lint:alloc-ok free-list checkout; the fallback allocation happens only on first use and on concurrency bursts beyond the pool cap
 func (t *Matrix) getScratch() *mvmScratch {
 	t.ensureScratch()
 	select {

@@ -90,6 +90,9 @@ func (t *Matrix) getSoA() *soaLayout {
 	return t.soa
 }
 
+// buildSoA assembles the stacked split-plane layout, once per Matrix.
+//
+//lint:alloc-ok one-time lazy build of the SoA planes; every later product takes the atomic-flag fast path in getSoA
 func (t *Matrix) buildSoA() {
 	t.soaMu.Lock()
 	defer t.soaMu.Unlock()

@@ -323,6 +323,7 @@ func (t *Matrix) mulVec(x, y []complex64, workers int) {
 			t.forwardVCol(j, s.yv, x)
 		}
 	} else {
+		//lint:alloc-ok parallel mode trades one closure+dispatch allocation per product for multicore phase 1
 		runIndexed(t.NT, workers, func(j int) { t.forwardVCol(j, s.yv, x) })
 	}
 	sp1.End()
@@ -337,6 +338,7 @@ func (t *Matrix) mulVec(x, y []complex64, workers int) {
 			t.forwardURow(i, s.yv, y)
 		}
 	} else {
+		//lint:alloc-ok parallel mode trades one closure+dispatch allocation per product for multicore phase 3
 		runIndexed(t.MT, workers, func(i int) { t.forwardURow(i, s.yv, y) })
 	}
 	sp3.End()
@@ -402,6 +404,7 @@ func (t *Matrix) mulVecConjTrans(x, y []complex64, workers int) {
 			t.adjointURow(i, s.yv, x)
 		}
 	} else {
+		//lint:alloc-ok parallel mode trades one closure+dispatch allocation per product for multicore adjoint phase 1
 		runIndexed(t.MT, workers, func(i int) { t.adjointURow(i, s.yv, x) })
 	}
 	// adjoint phase 3: y_j = Σ_i V_{ij} · yu segment (i,j)
@@ -410,6 +413,7 @@ func (t *Matrix) mulVecConjTrans(x, y []complex64, workers int) {
 			t.adjointVCol(j, s.yv, y)
 		}
 	} else {
+		//lint:alloc-ok parallel mode trades one closure+dispatch allocation per product for multicore adjoint phase 3
 		runIndexed(t.NT, workers, func(j int) { t.adjointVCol(j, s.yv, y) })
 	}
 	t.putScratch(s)
