@@ -41,7 +41,7 @@ race:
 # TLR-MVM, and the mddserve load tests at the repo root — run repeatedly
 # under the race detector
 race-stress:
-	$(GO) test -race -count=2 -run '^TestStress' ./ ./internal/batch/ ./internal/mdc/ ./internal/tlr/
+	$(GO) test -race -count=2 -run '^TestStress' ./ ./internal/batch/ ./internal/mdc/ ./internal/opstore/ ./internal/tlr/
 
 # serving-layer integration suite: typed client against a live
 # in-process mddserve instance (submit/poll/stream/cancel, backpressure,

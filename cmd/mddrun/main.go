@@ -16,6 +16,12 @@
 //	         survives via re-sharding plus checkpoint resume every
 //	         -ckpt-interval iterations and is compared against the
 //	         fault-free single-system result.
+//	-store   out-of-core operator demo: a frequency band is compressed,
+//	         written to a paged tile store with an fp16 off-band storage
+//	         tier, reopened under a byte budget far below the operator
+//	         size, and swept product-by-product — cache traffic, resident
+//	         bytes, and the analytic estimator's predicted NMSE bound
+//	         against the measured error are printed.
 package main
 
 import (
@@ -26,13 +32,19 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/estimator"
 	"repro/internal/fault"
 	"repro/internal/lsqr"
 	"repro/internal/mdd"
 	"repro/internal/obs"
+	"repro/internal/opstore"
+	"repro/internal/precision"
 	"repro/internal/render"
 	"repro/internal/seismic"
+	"repro/internal/sfc"
 	"repro/internal/testkit"
+	"repro/internal/tlr"
+	"repro/internal/tlrio"
 )
 
 // savePanel writes a gather as a PGM figure panel if outDir is set.
@@ -231,11 +243,128 @@ func faultDemo(iters, shards int, schedule string, ckptInterval int) {
 	fmt.Println()
 }
 
+// storeDemo is the worked out-of-core example: a band of frequency
+// slices compressed, written to a paged tile store with fp16 off-band
+// storage tiers, and swept through under a budget far below the
+// operator's footprint, with the analytic estimator's predicted bound
+// checked against the measured error on the spot.
+func storeDemo(storePath string, budget int64) {
+	fmt.Println("== Out-of-core tiered operator store ==")
+	const (
+		nFreqs = 8
+		nb     = 48
+		acc    = 1e-4
+	)
+	pol := precision.DiagonalBand{Band: 0.3, Demoted: precision.FP16}
+
+	opts := seismic.DemoOptions()
+	ds, err := seismic.Generate(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hds, _ := ds.Reorder(sfc.Hilbert)
+	fmt.Printf("survey: %d sources x %d receivers, %d frequency slices (storing %d)\n",
+		opts.Geom.NumSources(), opts.Geom.NumReceivers(), hds.NumFreqs(), nFreqs)
+
+	k := &tlrio.Kernel{}
+	base := hds.NumFreqs()/2 - nFreqs/2
+	for f := base; f < base+nFreqs; f++ {
+		tm, err := tlr.Compress(hds.K[f], tlr.Options{NB: nb, Tol: acc})
+		if err != nil {
+			log.Fatal(err)
+		}
+		k.Freqs = append(k.Freqs, hds.Freqs[f])
+		k.Mats = append(k.Mats, tm)
+	}
+	var compressed int64
+	for _, tm := range k.Mats {
+		compressed += tm.CompressedBytes()
+	}
+	if budget <= 0 {
+		budget = compressed / 4
+	}
+
+	if storePath == "" {
+		dir, err := os.MkdirTemp("", "mddrun-store")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		storePath = filepath.Join(dir, "band.tlrp")
+	}
+	if err := opstore.WriteFile(storePath, k, pol); err != nil {
+		log.Fatal(err)
+	}
+	info, err := os.Stat(storePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := opstore.OpenFile(storePath, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	fmt.Printf("store: %s | page file %d B | compressed operator %d B | cache budget %d B (%.0f%% of operator)\n",
+		storePath, info.Size(), compressed, budget, 100*float64(budget)/float64(compressed))
+
+	obs.Enable()
+	obs.Reset()
+	rng := testkit.NewRNG(42)
+	var worst float64
+	for f := range k.Mats {
+		ooc, err := st.Matrix(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		x := testkit.Vec(rng, ooc.N)
+		y := make([]complex64, ooc.M)
+		ooc.MulVec(x, y)
+		// measured error of the store-backed (fp16-demoted) product
+		// against the dense reference slice
+		want := make([]complex64, ooc.M)
+		hds.K[base+f].MulVec(x, want)
+		if e := testkit.RelErr(y, want); e > worst {
+			worst = e
+		}
+	}
+	snap := obs.TakeSnapshot()
+	obs.Disable()
+
+	stats := st.Stats()
+	fmt.Printf("swept %d products: hits %d | misses %d | evictions %d | resident %d B (budget %d B)\n",
+		len(k.Mats), stats.Hits, stats.Misses, stats.Evictions, stats.ResidentBytes, stats.Budget)
+	fmt.Printf("obs counters: opstore.hits %d | opstore.misses %d | opstore.evictions %d | opstore.bytes_resident %d\n",
+		snap.Counter("opstore.hits"), snap.Counter("opstore.misses"),
+		snap.Counter("opstore.evictions"), gaugeOrZero(snap, "opstore.bytes_resident"))
+
+	m0 := k.Mats[0]
+	pred, err := estimator.Predict(estimator.Config{
+		M: m0.M, N: m0.N, NB: nb, Acc: acc, Policy: pol,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimator: predicted NMSE bound %.3g (rel err bound %.3g, %.0f%% of tiles demoted to fp16)\n",
+		pred.NMSEBound, pred.RelErrBound, 100*pred.DemotedFrac)
+	fmt.Printf("measured:  worst NMSE %.3g (rel err %.3g) — bound holds: %v\n",
+		worst*worst, worst, worst*worst <= pred.NMSEBound)
+	fmt.Println()
+}
+
+// gaugeOrZero reads a gauge from a snapshot, defaulting to 0.
+func gaugeOrZero(snap obs.Snapshot, name string) int64 {
+	v, _ := snap.Gauge(name)
+	return v
+}
+
 func main() {
 	log.SetFlags(0)
 	f11 := flag.Bool("fig11", false, "single-virtual-source MDD (Fig. 11)")
 	f13 := flag.Bool("fig13", false, "zero-offset section line (Fig. 13)")
 	fdemo := flag.Bool("faultdemo", false, "fault-tolerant sharded MDD under an injected fault schedule")
+	fstore := flag.Bool("store", false, "out-of-core tiered operator store demo with the analytic noise estimator")
+	storePath := flag.String("store-path", "", "page file for -store (default: a temp file, removed after the run)")
+	storeBudget := flag.Int64("store-budget", 0, "tile-cache resident-byte budget for -store (0 = a quarter of the operator)")
 	iters := flag.Int("iters", 30, "LSQR iterations")
 	outDir := flag.String("out", "", "directory for PGM figure panels (optional)")
 	shards := flag.Int("shards", 8, "simulated CS-2 shard count for -faultdemo")
@@ -243,7 +372,7 @@ func main() {
 		"fault schedule (target:kind@invocation[:duration], comma-separated; kinds err|die|nan|latency)")
 	ckptInterval := flag.Int("ckpt-interval", 5, "iterations between solver checkpoints for -faultdemo")
 	flag.Parse()
-	if !*f11 && !*f13 && !*fdemo {
+	if !*f11 && !*f13 && !*fdemo && !*fstore {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -260,5 +389,8 @@ func main() {
 	}
 	if *fdemo {
 		faultDemo(*iters, *shards, *faults, *ckptInterval)
+	}
+	if *fstore {
+		storeDemo(*storePath, *storeBudget)
 	}
 }

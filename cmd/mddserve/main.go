@@ -8,6 +8,7 @@
 //
 //	mddserve [-addr :8700] [-workers 2] [-shards 4] [-queue 16]
 //	         [-tenant-inflight 8] [-faults "shard1:die@3,op:err@5"]
+//	         [-store-dir /var/tmp/mdd] [-store-budget 67108864]
 //
 // The service speaks the API in internal/mddserve (see its Handler doc
 // for routes); internal/mddclient is the matching typed Go client.
@@ -39,6 +40,8 @@ func main() {
 	maxReceivers := flag.Int("max-receivers", 256, "largest accepted receiver count")
 	maxNt := flag.Int("max-nt", 512, "largest accepted time-axis length")
 	faults := flag.String("faults", "", "fault schedule injected into every mdd job (e.g. \"shard1:die@3,op:err@5\")")
+	storeDir := flag.String("store-dir", "", "serve kernels out-of-core from paged tile stores in this directory")
+	storeBudget := flag.Int64("store-budget", 0, "resident-byte budget per kernel tile cache (0 = half the kernel)")
 	flag.Parse()
 
 	cfg := mddserve.Config{
@@ -49,6 +52,13 @@ func main() {
 		MaxSources:        *maxSources,
 		MaxReceivers:      *maxReceivers,
 		MaxNt:             *maxNt,
+		StoreDir:          *storeDir,
+		StoreBudget:       *storeBudget,
+	}
+	if *storeDir != "" {
+		if err := os.MkdirAll(*storeDir, 0o755); err != nil {
+			log.Fatalf("mddserve: creating -store-dir: %v", err)
+		}
 	}
 	if *faults != "" {
 		sched, err := fault.Parse(*faults)

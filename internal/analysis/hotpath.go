@@ -46,6 +46,8 @@ var HotPathSeeds = []HotPathSeed{
 	{Pkg: "internal/mdc", Func: "TLRKernel.ApplyNormal", Kernel: "mdc.kernel_tlr_normal"},
 	{Pkg: "internal/wsesim", Func: "PE.run", Kernel: "wsesim.mulvec"},
 	{Pkg: "internal/wsesim", Func: "Machine.MulVec", Kernel: "wsesim.mulvec"},
+	{Pkg: "internal/tlr", Func: "Matrix.tileAt", Kernel: "tlr.mulvec_ooc"},
+	{Pkg: "internal/opstore", Func: "Cache.Tile", Kernel: "opstore.tile_hit"},
 }
 
 // seedsForPath returns the seeds targeting the given package path.

@@ -20,13 +20,17 @@ import (
 // results are keyed on spec seeds — a tlrmvm checksum or a client
 // backoff schedule derived from the wall clock would break both the
 // determinism contract of the API and the replayability of every
-// serving-layer chaos test.
+// serving-layer chaos test. The out-of-core store and the noise
+// estimator (internal/opstore, internal/estimator) are in scope because
+// their validation tiers are randomized property tests — an eviction
+// sequence or a soundness grid drawn from an unseeded source cannot be
+// replayed when the invariant it violated is being debugged.
 var SeededRand = &Analyzer{
 	Name: "seededrand",
 	Doc: "require explicit deterministic seeds for RNGs in internal/testkit, " +
-		"internal/fault, internal/mddserve, internal/mddclient, cmd/..., " +
-		"examples/..., benchmarks, and fuzz seeds (no global math/rand, no " +
-		"time-derived seeds)",
+		"internal/fault, internal/mddserve, internal/mddclient, internal/opstore, " +
+		"internal/estimator, cmd/..., examples/..., benchmarks, and fuzz seeds " +
+		"(no global math/rand, no time-derived seeds)",
 	TestFiles: true,
 	Run:       runSeededRand,
 }
@@ -40,7 +44,8 @@ var randConstructors = map[string]bool{
 
 func runSeededRand(pass *Pass) error {
 	inTestkit := pathMatches(pass.Path, "internal/testkit", "internal/fault",
-		"internal/mddserve", "internal/mddclient") ||
+		"internal/mddserve", "internal/mddclient",
+		"internal/opstore", "internal/estimator") ||
 		hasPathSegment(pass.Path, "cmd") ||
 		hasPathSegment(pass.Path, "examples")
 	// rand.New(rand.NewSource(bad)) nests two constructors around one

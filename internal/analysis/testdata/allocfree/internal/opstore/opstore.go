@@ -1,0 +1,42 @@
+// Package opstore exercises the allocfree seeded registry for the
+// out-of-core tile cache (path suffix internal/opstore): the seeded
+// cache-hit lookup Cache.Tile is checked even when its //lint:hotpath
+// marker has been (wrongly) dropped, and allocations on the lookup path
+// are reported.
+package opstore
+
+import "sync/atomic"
+
+// Tile is a stand-in for a decoded tile.
+type Tile struct {
+	data []complex64
+}
+
+type entry struct {
+	tile    atomic.Pointer[Tile]
+	lastUse atomic.Int64
+}
+
+// Cache is a stand-in for the byte-budgeted tile cache.
+type Cache struct {
+	entries []entry
+	tick    atomic.Int64
+	hits    atomic.Int64
+}
+
+// Tile is the registered cache-hit hot path (kernel opstore.tile_hit)
+// whose marker was dropped: the seed still forces the allocation check
+// and reports the missing marker, and the miss path's allocation —
+// inlined here instead of delegated to a vouched slow path — is caught.
+func (c *Cache) Tile(g int) (*Tile, error) { // want `registered hot path Cache\.Tile must carry a //lint:hotpath marker`
+	e := &c.entries[g]
+	if t := e.tile.Load(); t != nil {
+		e.lastUse.Store(c.tick.Add(1))
+		c.hits.Add(1)
+		return t, nil
+	}
+	t := new(Tile)                   // want `new allocates in a hot path`
+	t.data = make([]complex64, 2048) // want `make allocates in a hot path`
+	e.tile.Store(t)
+	return t, nil
+}

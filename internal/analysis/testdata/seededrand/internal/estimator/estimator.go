@@ -1,0 +1,35 @@
+// Package estimator is a fixture for the seededrand scope rule: the
+// soundness tier measures error on random vectors and asserts the
+// analytic bound dominates, so a nondeterministic draw would make a
+// bound violation impossible to reproduce.
+package estimator
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Good: a seeded measurement grid reproduces the same worst case.
+func SeededTrials(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+// Bad: trial vectors from the global source measure a different error
+// every run.
+func RandomTrials(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rand.NormFloat64() // want `global math/rand\.NormFloat64 uses the shared unseeded source`
+	}
+	return out
+}
+
+// Bad: a wall-clock seed cannot replay the trial that broke the bound.
+func ClockSeededRNG() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `RNG seeded from a wall-clock timestamp is different every run`
+}

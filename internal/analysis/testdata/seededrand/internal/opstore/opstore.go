@@ -1,0 +1,35 @@
+// Package opstore is a fixture for the seededrand scope rule: the tile
+// cache's property and stress tests replay whole hit/miss/eviction
+// sequences from their seeds, so RNG hygiene applies to every file in
+// internal/opstore, tests or not.
+package opstore
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Good: a seeded access pattern replays the same eviction sequence.
+func SeededAccesses(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(32)
+	}
+	return out
+}
+
+// Bad: accesses drawn from the global source evict different tiles
+// every run.
+func RandomAccesses(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rand.Intn(32) // want `global math/rand\.Intn uses the shared unseeded source`
+	}
+	return out
+}
+
+// Bad: a wall-clock seed makes a failing cache trial unreplayable.
+func ClockSeededRNG() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `RNG seeded from a wall-clock timestamp is different every run`
+}

@@ -1,6 +1,7 @@
 package benchreport
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -16,11 +17,13 @@ import (
 	"repro/internal/mdc"
 	"repro/internal/mddserve"
 	"repro/internal/obs"
+	"repro/internal/opstore"
 	"repro/internal/ranks"
 	"repro/internal/seismic"
 	"repro/internal/sfc"
 	"repro/internal/testkit"
 	"repro/internal/tlr"
+	"repro/internal/tlrio"
 	"repro/internal/wse"
 	"repro/internal/wsesim"
 )
@@ -253,6 +256,11 @@ func Run(label string, p Profile) (*Report, error) {
 		return nil, err
 	}
 
+	// --- out-of-core store: paged-tile cache traffic under a tight budget ---
+	if err := opstoreMetrics(add, tm); err != nil {
+		return nil, err
+	}
+
 	// --- serving layer: admission control, cache reuse, job latency ---
 	if err := serveMetrics(add, p); err != nil {
 		return nil, err
@@ -334,6 +342,48 @@ func hotPathAllocMetrics(add func(name string, value float64, unit, direction st
 		// AllocsPerRun adds one more warm-up run of its own.
 		op()
 		add("hotpath."+hp.Name+".allocs_per_op", testing.AllocsPerRun(50, op), "allocs/op", Lower, true)
+	}
+	return nil
+}
+
+// opstoreMetrics pages the profile's compressed slice into an in-memory
+// tile store and streams four sequential products through it under a
+// budget of half the operator — every tile misses once per pass it is
+// needed in, the LRU evicts deterministically (unique recency ticks,
+// single worker), and the resulting hit/miss/eviction counts are a pure
+// function of the tile geometry and budget, so they gate.
+func opstoreMetrics(add func(name string, value float64, unit, direction string, gate bool), tm *tlr.Matrix) error {
+	var buf bytes.Buffer
+	k := &tlrio.Kernel{Freqs: []float64{0}, Mats: []*tlr.Matrix{tm}}
+	if err := tlrio.WritePaged(&buf, k, tlrio.PagedOptions{}); err != nil {
+		return fmt.Errorf("benchreport: paging slice: %w", err)
+	}
+	st, err := opstore.OpenBytes(buf.Bytes(), tm.CompressedBytes()/2)
+	if err != nil {
+		return fmt.Errorf("benchreport: opening store: %w", err)
+	}
+	ooc, err := st.Matrix(0)
+	if err != nil {
+		return fmt.Errorf("benchreport: store matrix: %w", err)
+	}
+	x := make([]complex64, tm.N)
+	for i := range x {
+		x[i] = complex(float32(i%7)-3, float32(i%5)-2)
+	}
+	y := make([]complex64, tm.M)
+	before := obs.TakeSnapshot()
+	for pass := 0; pass < 4; pass++ {
+		ooc.MulVec(x, y)
+	}
+	after := obs.TakeSnapshot()
+	delta := func(name string) float64 {
+		return float64(after.Counter(name) - before.Counter(name))
+	}
+	add("opstore.hits", delta("opstore.hits"), "hits", Higher, true)
+	add("opstore.misses", delta("opstore.misses"), "misses", Lower, true)
+	add("opstore.evictions", delta("opstore.evictions"), "evictions", Lower, true)
+	if res, ok := after.Gauge("opstore.bytes_resident"); ok {
+		add("opstore.bytes_resident", float64(res), "B", Lower, true)
 	}
 	return nil
 }

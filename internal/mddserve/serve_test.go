@@ -7,6 +7,8 @@ package mddserve
 import (
 	"testing"
 	"time"
+
+	"repro/internal/mdc"
 )
 
 func testSpec(typ JobType) JobSpec {
@@ -243,6 +245,76 @@ func TestJobTransitionCAS(t *testing.T) {
 	for i, ev := range j.events {
 		if ev.Seq != i {
 			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+}
+
+// TestStoreDirServesFromDisk runs the same MDD job through an in-memory
+// server and a StoreDir server: the fp32 page codec decodes
+// bit-identically, so results must match exactly while the store-backed
+// build faults its kernel tiles from the temp-dir page file.
+func TestStoreDirServesFromDisk(t *testing.T) {
+	spec := testSpec(JobMDD)
+	spec.Iters = 5
+
+	mem := New(testConfig())
+	id, err := mem.Submit(spec, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitTerminal(t, mem, id)
+	mem.Close()
+	if want.State != StateDone {
+		t.Fatalf("in-memory job: %s (%s)", want.State, want.Error)
+	}
+
+	cfg := testConfig()
+	cfg.StoreDir = t.TempDir()
+	s := New(cfg)
+	defer s.Close()
+	id, err = s.Submit(spec, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, s, id)
+	if got.State != StateDone {
+		t.Fatalf("store-backed job: %s (%s)", got.State, got.Error)
+	}
+	if got.Result.InversionNMSE != want.Result.InversionNMSE ||
+		got.Result.FinalResidual != want.Result.FinalResidual ||
+		got.Result.Iterations != want.Result.Iterations {
+		t.Errorf("store-backed result diverged: %+v vs %+v", got.Result, want.Result)
+	}
+
+	s.cacheMu.Lock()
+	builds := make([]*built, 0, len(s.cache))
+	for _, b := range s.cache {
+		builds = append(builds, b)
+	}
+	s.cacheMu.Unlock()
+	if len(builds) != 1 {
+		t.Fatalf("cache holds %d builds, want 1", len(builds))
+	}
+	for _, b := range builds {
+		<-b.ready
+		if b.store == nil {
+			t.Fatal("StoreDir build has no open store")
+		}
+		stats := b.store.Stats()
+		if stats.Misses == 0 {
+			t.Errorf("store-backed solve never faulted a tile: %+v", stats)
+		}
+		if stats.ResidentBytes > stats.Budget {
+			t.Errorf("resident %d exceeds budget %d", stats.ResidentBytes, stats.Budget)
+		}
+		tk, ok := b.ck.(*mdc.TLRKernel)
+		if !ok {
+			t.Fatalf("built kernel is %T, want *mdc.TLRKernel", b.ck)
+		}
+		for f, m := range tk.Mats {
+			if !m.OutOfCore() {
+				t.Errorf("kernel matrix %d is not store-backed", f)
+			}
 		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
@@ -30,9 +31,11 @@ import (
 	"repro/internal/mdc"
 	"repro/internal/mdd"
 	"repro/internal/obs"
+	"repro/internal/opstore"
 	"repro/internal/seismic"
 	"repro/internal/sfc"
 	"repro/internal/tlr"
+	"repro/internal/tlrio"
 )
 
 // Serving-layer metrics: submission/terminal counters, admission
@@ -87,6 +90,16 @@ type Config struct {
 	// BackoffSleep replaces time.Sleep for shard-retry backoff (tests
 	// inject a no-op to keep chaos schedules fast).
 	BackoffSleep func(time.Duration)
+	// StoreDir, when non-empty, switches each built dataset's compressed
+	// kernel to the out-of-core tile store: the kernel is written to
+	// StoreDir/<specKey>.tlrp once at build time and every MDD product
+	// streams tiles through a byte-budgeted LRU cache instead of holding
+	// the whole operator resident — the paper's memory-wall serving mode.
+	StoreDir string
+	// StoreBudget is the per-kernel resident-byte budget of the tile
+	// cache in StoreDir mode. 0 defaults to half the kernel's compressed
+	// footprint, so products genuinely evict and refault tiles.
+	StoreBudget int64
 }
 
 func (c Config) withDefaults() Config {
@@ -223,6 +236,9 @@ type built struct {
 	slice      *tlr.Matrix
 	denseBytes int64
 	tlrBytes   int64
+	// store backs the kernel's tiles in StoreDir mode (nil otherwise);
+	// it stays open for the server's lifetime and closes with it.
+	store *opstore.Store
 }
 
 // Server is the in-process service instance; Handler() exposes it over
@@ -281,6 +297,22 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.cond.Broadcast()
 	s.wg.Wait()
+	// Snapshot the build cache under the lock, then wait for in-flight
+	// builds and release their stores lock-free: a build goroutine may
+	// briefly take cacheMu itself, so blocking on ready while holding it
+	// would deadlock.
+	s.cacheMu.Lock()
+	builds := make([]*built, 0, len(s.cache))
+	for _, b := range s.cache {
+		builds = append(builds, b)
+	}
+	s.cacheMu.Unlock()
+	for _, b := range builds {
+		<-b.ready
+		if b.store != nil {
+			b.store.Close()
+		}
+	}
 }
 
 // Pause parks the worker pool before its next dequeue: accepted jobs
@@ -665,14 +697,16 @@ func (s *Server) built(spec JobSpec) (*built, error) {
 	s.cacheMu.Unlock()
 	obsCacheMisses.Add(1)
 
-	b.err = buildProblem(spec, b)
+	b.err = buildProblem(s.cfg, spec, b)
 	close(b.ready)
 	return b, b.err
 }
 
 // buildProblem synthesizes the survey, Hilbert-reorders it, compresses
-// the kernel, and prepares the shared MDD problem and bench slice.
-func buildProblem(spec JobSpec, b *built) error {
+// the kernel, and prepares the shared MDD problem and bench slice. In
+// StoreDir mode the compressed kernel round-trips through a paged tile
+// store first, so the problem's matrices fault tiles in on demand.
+func buildProblem(cfg Config, spec JobSpec, b *built) error {
 	ds, err := seismic.Generate(seismic.Options{
 		Geom: seismic.Geometry{
 			NsX: spec.Dataset.NsX, NsY: spec.Dataset.NsY,
@@ -693,6 +727,11 @@ func buildProblem(spec JobSpec, b *built) error {
 	if err != nil {
 		return fmt.Errorf("compressing kernel: %w", err)
 	}
+	if cfg.StoreDir != "" {
+		if err := storeBackKernel(cfg, spec, hds.Freqs, tk, b); err != nil {
+			return err
+		}
+	}
 	prob, err := mdd.NewProblem(hds, tk)
 	if err != nil {
 		return err
@@ -707,5 +746,35 @@ func buildProblem(spec JobSpec, b *built) error {
 	b.slice = slice
 	b.denseBytes = dk.Bytes()
 	b.tlrBytes = tk.Bytes()
+	return nil
+}
+
+// storeBackKernel writes the compressed kernel to the spec's page file
+// under cfg.StoreDir and swaps every frequency matrix for its
+// store-backed twin, leaving the open store on b for lifetime
+// management. The fp32 page codec decodes bit-identically, so the swap
+// changes memory behaviour, never results.
+func storeBackKernel(cfg Config, spec JobSpec, freqs []float64, tk *mdc.TLRKernel, b *built) error {
+	budget := cfg.StoreBudget
+	if budget <= 0 {
+		budget = tk.Bytes() / 2
+	}
+	path := filepath.Join(cfg.StoreDir, specKey(spec)+".tlrp")
+	if err := opstore.WriteFile(path, &tlrio.Kernel{Freqs: freqs, Mats: tk.Mats}, nil); err != nil {
+		return fmt.Errorf("writing kernel store: %w", err)
+	}
+	st, err := opstore.OpenFile(path, budget)
+	if err != nil {
+		return fmt.Errorf("opening kernel store: %w", err)
+	}
+	for f := range tk.Mats {
+		m, err := st.Matrix(f)
+		if err != nil {
+			st.Close()
+			return fmt.Errorf("store matrix %d: %w", f, err)
+		}
+		tk.Mats[f] = m
+	}
+	b.store = st
 	return nil
 }

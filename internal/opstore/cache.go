@@ -1,0 +1,243 @@
+// Package opstore is the tiered out-of-core operator store: it serves
+// tlr.Tile panels from a paged on-disk kernel (tlrio's "TLRP" format)
+// through a byte-budgeted LRU cache, so survey-scale operators — 110 GB
+// compressed in the paper, against hosts with far less RAM — run the
+// ordinary TLR-MVM kernels with only a bounded working set resident.
+//
+// The cache-hit path is lock-free (one atomic pointer load, one LRU
+// tick, two counter bumps — all sync/atomic) and allocation-free; it is
+// registered in both halves of the hot-path registry like every other
+// steady-state kernel. Misses take a mutex, singleflight the page read
+// so concurrent faults on one tile decode it once, and evict
+// least-recently-used unpinned tiles until the decoded bytes fit the
+// budget again. Store build time chooses each tile's on-disk precision
+// tier (fp32/fp16/bf16) via a precision.Policy passed to
+// tlrio.WritePaged.
+package opstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/tlr"
+)
+
+// Cache metrics, registered once at package scope (obshygiene). All
+// recording is atomic and gated on obs.Enable, so the hot path stays
+// allocation-free whether or not metrics are on.
+var (
+	obsHits      = obs.NewCounter("opstore.hits")
+	obsMisses    = obs.NewCounter("opstore.misses")
+	obsEvictions = obs.NewCounter("opstore.evictions")
+	obsResident  = obs.NewGauge("opstore.bytes_resident")
+)
+
+// CacheConfig configures a tile cache over n tiles addressed by a flat
+// global index.
+type CacheConfig struct {
+	// N is the number of cacheable tiles.
+	N int
+	// Budget is the decoded-bytes ceiling. Resident bytes never exceed
+	// it, except transiently when the pinned tiles plus a single
+	// in-flight load alone exceed it (eviction can only reclaim unpinned
+	// tiles).
+	Budget int64
+	// Load materializes tile g from the backing store.
+	Load func(g int) (*tlr.Tile, error)
+	// Size returns tile g's decoded footprint in bytes. Called once per
+	// tile at cache construction, never on the serving paths.
+	Size func(g int) int64
+}
+
+// entry is one tile's cache slot. The tile pointer is the entire hit
+// path; lastUse carries the global LRU tick; pins blocks eviction.
+type entry struct {
+	tile    atomic.Pointer[tlr.Tile]
+	lastUse atomic.Int64
+	pins    atomic.Int32
+}
+
+// Cache is the byte-budgeted LRU tile cache. Safe for concurrent use.
+type Cache struct {
+	budget  int64
+	load    func(g int) (*tlr.Tile, error)
+	sizes   []int64
+	entries []entry
+	tick    atomic.Int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	resident  atomic.Int64
+
+	// mu serializes the miss path: load singleflighting, publication,
+	// and eviction. The hit path never touches it.
+	mu      sync.Mutex
+	loading map[int]chan struct{}
+}
+
+// NewCache builds a cache. Sizes are precomputed so the serving paths
+// never call back into the config.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("opstore: cache over %d tiles", cfg.N)
+	}
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("opstore: non-positive byte budget %d", cfg.Budget)
+	}
+	if cfg.Load == nil || cfg.Size == nil {
+		return nil, fmt.Errorf("opstore: cache needs both Load and Size")
+	}
+	c := &Cache{
+		budget:  cfg.Budget,
+		load:    cfg.Load,
+		sizes:   make([]int64, cfg.N),
+		entries: make([]entry, cfg.N),
+		loading: make(map[int]chan struct{}),
+	}
+	for g := range c.sizes {
+		c.sizes[g] = cfg.Size(g)
+	}
+	return c, nil
+}
+
+// Tile returns tile g, serving it from cache when resident. The hit
+// path is one atomic pointer load plus bookkeeping atomics — lock-free
+// and allocation-free, proven in both hot-path registry halves (kernel
+// opstore.tile_hit). Registered hot path.
+//
+//lint:hotpath
+func (c *Cache) Tile(g int) (*tlr.Tile, error) {
+	e := &c.entries[g]
+	if t := e.tile.Load(); t != nil {
+		e.lastUse.Store(c.tick.Add(1))
+		c.hits.Add(1)
+		obsHits.Add(1)
+		return t, nil
+	}
+	return c.loadSlow(g)
+}
+
+// Pin returns tile g and holds it resident until the matching Unpin:
+// eviction skips pinned tiles, so a caller walking a tile's panels
+// across multiple kernel invocations cannot have it reclaimed
+// underneath. Pins stack.
+func (c *Cache) Pin(g int) (*tlr.Tile, error) {
+	c.entries[g].pins.Add(1)
+	t, err := c.Tile(g)
+	if err != nil {
+		c.entries[g].pins.Add(-1)
+	}
+	return t, err
+}
+
+// Unpin releases one Pin of tile g.
+func (c *Cache) Unpin(g int) {
+	if c.entries[g].pins.Add(-1) < 0 {
+		panic("opstore: Unpin without matching Pin")
+	}
+}
+
+// loadSlow is the miss path: singleflight the load under the cache
+// mutex, publish the decoded tile, then evict LRU unpinned tiles until
+// the budget holds again.
+//
+//lint:alloc-ok miss path; decoding a tile from the page store necessarily allocates its panels, and the steady-state hit path never reaches here
+func (c *Cache) loadSlow(g int) (*tlr.Tile, error) {
+	for {
+		c.mu.Lock()
+		e := &c.entries[g]
+		// Raced with a concurrent loader that published after our fast
+		// path missed: that is a hit, the flight already paid the miss.
+		if t := e.tile.Load(); t != nil {
+			e.lastUse.Store(c.tick.Add(1))
+			c.hits.Add(1)
+			obsHits.Add(1)
+			c.mu.Unlock()
+			return t, nil
+		}
+		ch, inflight := c.loading[g]
+		if !inflight {
+			break
+		}
+		c.mu.Unlock()
+		<-ch
+		// The flight owner published (or failed); retry from the top so
+		// a failure is re-attempted rather than silently shared.
+	}
+	ch := make(chan struct{})
+	c.loading[g] = ch
+	c.mu.Unlock()
+
+	t, err := c.load(g)
+
+	c.mu.Lock()
+	delete(c.loading, g)
+	close(ch)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	e := &c.entries[g]
+	e.tile.Store(t)
+	e.lastUse.Store(c.tick.Add(1))
+	c.misses.Add(1)
+	obsMisses.Add(1)
+	res := c.resident.Add(c.sizes[g])
+	if res > c.budget {
+		res = c.evictLocked(res)
+	}
+	obsResident.Set(res)
+	c.mu.Unlock()
+	return t, nil
+}
+
+// evictLocked drops least-recently-used unpinned tiles until resident
+// bytes fit the budget (or nothing evictable remains). Caller holds mu.
+func (c *Cache) evictLocked(res int64) int64 {
+	for res > c.budget {
+		victim, oldest := -1, int64(0)
+		for g := range c.entries {
+			e := &c.entries[g]
+			if e.tile.Load() == nil || e.pins.Load() > 0 {
+				continue
+			}
+			if u := e.lastUse.Load(); victim < 0 || u < oldest {
+				victim, oldest = g, u
+			}
+		}
+		if victim < 0 {
+			return res
+		}
+		c.entries[victim].tile.Store(nil)
+		res = c.resident.Add(-c.sizes[victim])
+		c.evictions.Add(1)
+		obsEvictions.Add(1)
+	}
+	return res
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters, kept
+// locally (in addition to the obs metrics) so callers can interrogate a
+// cache while metrics recording is disabled.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	ResidentBytes           int64
+	Budget                  int64
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		ResidentBytes: c.resident.Load(),
+		Budget:        c.budget,
+	}
+}
+
+// Resident reports whether tile g is currently cached (test hook).
+func (c *Cache) Resident(g int) bool { return c.entries[g].tile.Load() != nil }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cs2"
 	"repro/internal/dense"
 	"repro/internal/mdc"
+	"repro/internal/opstore"
 	"repro/internal/tlr"
 	"repro/internal/wsesim"
 )
@@ -181,6 +182,47 @@ func HotPaths() []HotPath {
 			x[0] = 1
 			return func() { k.ApplyNormal(0, x, y) }, nil
 		}},
+		{Name: "opstore.tile_hit", Setup: func() (func(), error) {
+			st, nTiles, err := hotPathStore()
+			if err != nil {
+				return nil, err
+			}
+			c := st.Cache()
+			// Warm every tile in: the generous budget keeps all resident,
+			// so the measured op cycles through pure cache hits — one
+			// atomic pointer load plus counter bumps, 0 allocs.
+			for g := 0; g < nTiles; g++ {
+				if _, err := c.Tile(g); err != nil {
+					return nil, err
+				}
+			}
+			g := 0
+			return func() {
+				if _, err := c.Tile(g); err != nil {
+					panic(err)
+				}
+				g++
+				if g == nTiles {
+					g = 0
+				}
+			}, nil
+		}},
+		{Name: "tlr.mulvec_ooc", Setup: func() (func(), error) {
+			st, _, err := hotPathStore()
+			if err != nil {
+				return nil, err
+			}
+			t, err := st.Matrix(0)
+			if err != nil {
+				return nil, err
+			}
+			x, y := make([]complex64, hotN), make([]complex64, hotM)
+			x[0], x[hotN-1] = 1, 2i
+			// Warm-up runs fault every tile in; at the budget above
+			// nothing evicts, so the measured product is all cache hits
+			// through Matrix.tileAt.
+			return func() { t.MulVec(x, y) }, nil
+		}},
 		{Name: "wsesim.mulvec", Setup: func() (func(), error) {
 			t, err := hotPathMatrix()
 			if err != nil {
@@ -195,6 +237,21 @@ func HotPaths() []HotPath {
 			return func() { m.MulVec(x, y) }, nil
 		}},
 	}
+}
+
+// hotPathStore pages the shared deterministic matrix into an in-memory
+// tile store with a budget generous enough that nothing ever evicts —
+// the cache-hit steady state the two out-of-core kernels are gated on.
+func hotPathStore() (*opstore.Store, int, error) {
+	t, err := hotPathMatrix()
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := pagedStore(t, nil, 4*t.CompressedBytes()+4096)
+	if err != nil {
+		return nil, 0, err
+	}
+	return st, t.MT * t.NT, nil
 }
 
 // hotPathBatch builds the deterministic variable-size batch: one OpN

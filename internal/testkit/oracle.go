@@ -1,14 +1,17 @@
 package testkit
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/cs2"
 	"repro/internal/dense"
 	"repro/internal/mdc"
+	"repro/internal/opstore"
 	"repro/internal/precision"
 	"repro/internal/tlr"
+	"repro/internal/tlrio"
 	"repro/internal/wsesim"
 )
 
@@ -56,6 +59,15 @@ type Oracle struct {
 	perMulFMACs int64
 	perMulBytes int64
 	wsesimMuls  int64
+
+	// oocT is the same operator round-tripped through the paged on-disk
+	// format and served out-of-core through a byte-budgeted tile cache;
+	// qT/oocQ are the reduced-precision twin pair when Cfg.Format asks
+	// for one. The invariants hold each store-backed product to 0 ULPs
+	// of its in-memory twin.
+	oocT *tlr.Matrix
+	qT   *tlr.Matrix
+	oocQ *tlr.Matrix
 }
 
 // New compresses a with cfg.TLROpts and assembles the implementation set.
@@ -282,6 +294,7 @@ func New(a *dense.Matrix, cfg Config) (*Oracle, error) {
 		if err != nil {
 			return nil, err
 		}
+		o.qT = q.T
 		qTol := MVMTolerance(n, acc, cfg.Format)
 		o.Impls = append(o.Impls, Impl{
 			Name: "precision-" + cfg.Format.String(),
@@ -290,6 +303,56 @@ func New(a *dense.Matrix, cfg Config) (*Oracle, error) {
 				return nil
 			},
 			Adjoint: q.T.MulVecConjTrans,
+			Tol:     qTol,
+			PairTol: qTol,
+		})
+	}
+
+	// The out-of-core store: the operator paged onto a (here in-memory)
+	// CRC-checked tile store and served back through the byte-budgeted
+	// LRU cache — the configuration paper-scale operators run in. The
+	// budget is half the compressed footprint, so a full product
+	// genuinely faults and evicts; fp32 pages decode bit-identically, so
+	// the paths carry the in-memory tolerances.
+	oocT, err := storeBacked(t, nil, t.CompressedBytes()/2+1024)
+	if err != nil {
+		return nil, fmt.Errorf("testkit: building out-of-core twin: %w", err)
+	}
+	o.oocT = oocT
+	o.Impls = append(o.Impls, Impl{
+		Name: "opstore-tlr",
+		Apply: func(x, y []complex64) error {
+			oocT.MulVec(x, y)
+			return nil
+		},
+		Adjoint: oocT.MulVecConjTrans,
+		Tol:     compTol,
+		PairTol: pairTol,
+	})
+	o.Impls = append(o.Impls, Impl{
+		Name: "opstore-soa",
+		Apply: func(x, y []complex64) error {
+			oocT.MulVecSoA(x, y)
+			return nil
+		},
+		Adjoint: oocT.MulVecConjTransSoA,
+		Tol:     compTol,
+		PairTol: pairTol,
+	})
+	if cfg.Format != precision.FP32 {
+		oocQ, err := storeBacked(t, precision.Uniform{F: cfg.Format}, t.CompressedBytes()/2+1024)
+		if err != nil {
+			return nil, fmt.Errorf("testkit: building quantized out-of-core twin: %w", err)
+		}
+		o.oocQ = oocQ
+		qTol := MVMTolerance(n, acc, cfg.Format)
+		o.Impls = append(o.Impls, Impl{
+			Name: "opstore-" + cfg.Format.String(),
+			Apply: func(x, y []complex64) error {
+				oocQ.MulVec(x, y)
+				return nil
+			},
+			Adjoint: oocQ.MulVecConjTrans,
 			Tol:     qTol,
 			PairTol: qTol,
 		})
@@ -308,6 +371,27 @@ func New(a *dense.Matrix, cfg Config) (*Oracle, error) {
 		Tol:     pairTol,
 	})
 	return o, nil
+}
+
+// storeBacked round-trips t through the paged store format (in memory)
+// under the given tier policy and returns the out-of-core twin served
+// through a cache of the given byte budget.
+func storeBacked(t *tlr.Matrix, pol precision.Policy, budget int64) (*tlr.Matrix, error) {
+	st, err := pagedStore(t, pol, budget)
+	if err != nil {
+		return nil, err
+	}
+	return st.Matrix(0)
+}
+
+// pagedStore pages t into an in-memory store image and opens it.
+func pagedStore(t *tlr.Matrix, pol precision.Policy, budget int64) (*opstore.Store, error) {
+	var img bytes.Buffer
+	k := &tlrio.Kernel{Freqs: []float64{0}, Mats: []*tlr.Matrix{t}}
+	if err := tlrio.WritePaged(&img, k, tlrio.PagedOptions{Policy: pol}); err != nil {
+		return nil, err
+	}
+	return opstore.OpenBytes(img.Bytes(), budget)
 }
 
 // predictPerMul computes, from the chunk plan alone, the §6.6 absolute
@@ -420,7 +504,35 @@ func (o *Oracle) checkInvariants(rng *rand.Rand) error {
 			return fmt.Errorf("oracle: FreqOperator.ApplyNormal %d ULPs from the fused TLR normal product", d)
 		}
 	}
-	// 3. cycle model: the machine's worst-chunk cycle count must be
+	// 3. out-of-core identity: the store-backed twin runs the identical
+	//    kernels on bit-identically decoded tiles, so both the AoS and
+	//    SoA products — and, under a reduced format, the quantized pair —
+	//    must reproduce their in-memory counterparts to the bit. This is
+	//    the differential proof that paging, CRC verification, tile
+	//    decode, and cache eviction are invisible to the numerics.
+	{
+		x := Vec(rng, n)
+		mem := make([]complex64, m)
+		ooc := make([]complex64, m)
+		o.T.MulVec(x, mem)
+		o.oocT.MulVec(x, ooc)
+		if d := MaxULPDist(ooc, mem); d != 0 {
+			return fmt.Errorf("oracle: store-backed MulVec %d ULPs from in-memory", d)
+		}
+		o.T.MulVecSoA(x, mem)
+		o.oocT.MulVecSoA(x, ooc)
+		if d := MaxULPDist(ooc, mem); d != 0 {
+			return fmt.Errorf("oracle: store-backed MulVecSoA %d ULPs from in-memory", d)
+		}
+		if o.oocQ != nil {
+			o.qT.MulVec(x, mem)
+			o.oocQ.MulVec(x, ooc)
+			if d := MaxULPDist(ooc, mem); d != 0 {
+				return fmt.Errorf("oracle: store-backed quantized MulVec %d ULPs from precision.Quantize twin", d)
+			}
+		}
+	}
+	// 4. cycle model: the machine's worst-chunk cycle count must be
 	//    positive and exactly reproduce the §6.7 strategy-1 formula.
 	var wantCycles int64
 	for _, pe := range o.machine.PEs {
@@ -436,7 +548,7 @@ func (o *Oracle) checkInvariants(rng *rand.Rand) error {
 	if got := o.machine.ModelCycles(); got != wantCycles {
 		return fmt.Errorf("oracle: ModelCycles %d != ChunkCycles recomputation %d", got, wantCycles)
 	}
-	// 4. executed traffic: the meters tallied while the oracle ran must
+	// 5. executed traffic: the meters tallied while the oracle ran must
 	//    equal the §6.6 absolute-bytes prediction from the chunk plan.
 	if o.wsesimMuls > 0 {
 		meter := o.machine.TotalMeter()

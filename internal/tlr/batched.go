@@ -102,7 +102,7 @@ func (t *Matrix) MulVecBatchedAoS(x, y []complex64, workers int) error {
 		xj := x[j*t.NB : j*t.NB+t.tileCols(j)]
 		for i := 0; i < t.MT; i++ {
 			idx := i*t.NT + j
-			tile := t.Tiles[idx]
+			tile := t.tileAt(idx)
 			//lint:alloc-ok the append stays within the MT·NT cap preallocated at scratch init
 			tasks = append(tasks, batch.MVM{
 				Oper: batch.OpC, M: tile.V.Rows, N: tile.V.Cols, Alpha: 1,
@@ -120,7 +120,7 @@ func (t *Matrix) MulVecBatchedAoS(x, y []complex64, workers int) error {
 	for i := 0; i < t.MT; i++ {
 		for j := 0; j < t.NT; j++ {
 			idx := i*t.NT + j
-			tile := t.Tiles[idx]
+			tile := t.tileAt(idx)
 			//lint:alloc-ok the append stays within the MT·NT cap preallocated at scratch init
 			tasks = append(tasks, batch.MVM{
 				Oper: batch.OpN, M: tile.U.Rows, N: tile.U.Cols, Alpha: 1,

@@ -61,7 +61,7 @@ func (t *Matrix) ensureScratch() {
 	t.rankOff = make([]int, nTiles+1)
 	t.partOff = make([]int, nTiles+1)
 	for idx := 0; idx < nTiles; idx++ {
-		t.rankOff[idx+1] = t.rankOff[idx] + t.Tiles[idx].Rank()
+		t.rankOff[idx+1] = t.rankOff[idx] + t.rankAt(idx)
 		t.partOff[idx+1] = t.partOff[idx] + t.tileRows(idx/t.NT)
 	}
 	t.scratchFree = make(chan *mvmScratch, scratchPoolCap)

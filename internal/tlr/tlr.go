@@ -79,6 +79,14 @@ type Matrix struct {
 	NT    int // number of tile columns
 	Tiles []*Tile
 
+	// src faults non-resident tiles in for out-of-core matrices (see
+	// ooc.go); nil for fully in-memory matrices. Kernels never touch
+	// Tiles directly — they go through tileAt/rankAt so both kinds run
+	// the same code. ranks snapshots every tile's rank at construction
+	// so rank queries never call through the source.
+	src   TileSource
+	ranks []int
+
 	// scratchState holds the lazily built MVM scratch free list and
 	// stacked-segment offset tables (see scratch.go).
 	scratchState
@@ -215,8 +223,9 @@ func compressTile(block *dense.Matrix, opts Options, rng *rand.Rand) (*Tile, err
 	return nil, fmt.Errorf("tlr: unknown compression method %d", opts.Method)
 }
 
-// Tile returns tile (i, j).
-func (t *Matrix) Tile(i, j int) *Tile { return t.Tiles[i*t.NT+j] }
+// Tile returns tile (i, j), faulting it in from the tile source for
+// out-of-core matrices.
+func (t *Matrix) Tile(i, j int) *Tile { return t.tileAt(i*t.NT + j) }
 
 // tileRows returns the row extent of tile row i.
 func (t *Matrix) tileRows(i int) int { return min((i+1)*t.NB, t.M) - i*t.NB }
@@ -227,8 +236,8 @@ func (t *Matrix) tileCols(j int) int { return min((j+1)*t.NB, t.N) - j*t.NB }
 // MaxRank returns the largest tile rank.
 func (t *Matrix) MaxRank() int {
 	var m int
-	for _, tile := range t.Tiles {
-		if r := tile.Rank(); r > m {
+	for idx := range t.Tiles {
+		if r := t.rankAt(idx); r > m {
 			m = r
 		}
 	}
@@ -239,8 +248,8 @@ func (t *Matrix) MaxRank() int {
 // Yv/Yu vectors of the shuffle phase).
 func (t *Matrix) TotalRank() int {
 	var s int
-	for _, tile := range t.Tiles {
-		s += tile.Rank()
+	for idx := range t.Tiles {
+		s += t.rankAt(idx)
 	}
 	return s
 }
@@ -254,10 +263,15 @@ func (t *Matrix) AvgRank() float64 {
 }
 
 // CompressedBytes returns the total footprint of all U and V bases.
+// Computed from the rank map alone — (rows+cols)·k complex64 elements
+// per tile — so out-of-core matrices answer without faulting tiles in.
 func (t *Matrix) CompressedBytes() int64 {
 	var b int64
-	for _, tile := range t.Tiles {
-		b += tile.Bytes()
+	for i := 0; i < t.MT; i++ {
+		for j := 0; j < t.NT; j++ {
+			k := int64(t.rankAt(i*t.NT + j))
+			b += int64(t.tileRows(i)+t.tileCols(j)) * k * 8
+		}
 	}
 	return b
 }
@@ -354,7 +368,7 @@ func (t *Matrix) forwardVCol(j int, yv, x []complex64) {
 	xj := x[j*t.NB : j*t.NB+t.tileCols(j)]
 	for i := 0; i < t.MT; i++ {
 		idx := i*t.NT + j
-		t.Tiles[idx].V.MulVecConjTrans(xj, yv[t.rankOff[idx]:t.rankOff[idx+1]])
+		t.tileAt(idx).V.MulVecConjTrans(xj, yv[t.rankOff[idx]:t.rankOff[idx+1]])
 	}
 }
 
@@ -370,7 +384,7 @@ func (t *Matrix) forwardURow(i int, yv, y []complex64) {
 	}
 	for j := 0; j < t.NT; j++ {
 		idx := i*t.NT + j
-		tile := t.Tiles[idx]
+		tile := t.tileAt(idx)
 		cfloat.Gemv(cfloat.NoTrans, tile.U.Rows, tile.U.Cols, 1,
 			tile.U.Data, tile.U.Stride, yv[t.rankOff[idx]:t.rankOff[idx+1]], 1, yi)
 	}
@@ -428,7 +442,7 @@ func (t *Matrix) adjointURow(i int, yu, x []complex64) {
 	xi := x[i*t.NB : i*t.NB+t.tileRows(i)]
 	for j := 0; j < t.NT; j++ {
 		idx := i*t.NT + j
-		t.Tiles[idx].U.MulVecConjTrans(xi, yu[t.rankOff[idx]:t.rankOff[idx+1]])
+		t.tileAt(idx).U.MulVecConjTrans(xi, yu[t.rankOff[idx]:t.rankOff[idx+1]])
 	}
 }
 
@@ -444,7 +458,7 @@ func (t *Matrix) adjointVCol(j int, yu, y []complex64) {
 	}
 	for i := 0; i < t.MT; i++ {
 		idx := i*t.NT + j
-		tile := t.Tiles[idx]
+		tile := t.tileAt(idx)
 		cfloat.Gemv(cfloat.NoTrans, tile.V.Rows, tile.V.Cols, 1,
 			tile.V.Data, tile.V.Stride, yu[t.rankOff[idx]:t.rankOff[idx+1]], 1, yj)
 	}
@@ -483,7 +497,7 @@ func (t *Matrix) ColumnStackedSizes() []int {
 	out := make([]int, t.NT)
 	for j := 0; j < t.NT; j++ {
 		for i := 0; i < t.MT; i++ {
-			out[j] += t.Tile(i, j).Rank()
+			out[j] += t.rankAt(i*t.NT + j)
 		}
 	}
 	return out
@@ -495,7 +509,7 @@ func (t *Matrix) RowStackedSizes() []int {
 	out := make([]int, t.MT)
 	for i := 0; i < t.MT; i++ {
 		for j := 0; j < t.NT; j++ {
-			out[i] += t.Tile(i, j).Rank()
+			out[i] += t.rankAt(i*t.NT + j)
 		}
 	}
 	return out
@@ -505,8 +519,8 @@ func (t *Matrix) RowStackedSizes() []int {
 // planner and by rank-distribution diagnostics.
 func (t *Matrix) Ranks() []int {
 	out := make([]int, len(t.Tiles))
-	for i, tile := range t.Tiles {
-		out[i] = tile.Rank()
+	for idx := range t.Tiles {
+		out[idx] = t.rankAt(idx)
 	}
 	return out
 }

@@ -1,0 +1,66 @@
+package tlrio
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestReadDetectsEveryByteFlip flips one byte at every offset of a
+// small monolithic kernel file and asserts Read never returns a clean
+// kernel: the trailing CRC covers everything after the magic, so any
+// flip that survives structural validation must die at the checksum.
+// Flips landing in float payload bytes decode fine structurally and are
+// therefore required to surface as ErrChecksum specifically — the
+// sentinel callers use to tell media corruption from format damage.
+func TestReadDetectsEveryByteFlip(t *testing.T) {
+	k := smallKernel(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, k); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	if _, err := Read(bytes.NewReader(img)); err != nil {
+		t.Fatalf("pristine file: %v", err)
+	}
+	var checksumCount int
+	for off := range img {
+		mut := bytes.Clone(img)
+		mut[off] ^= 0x01
+		_, err := Read(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("flip at offset %d of %d went undetected", off, len(img))
+		}
+		if errors.Is(err, ErrChecksum) {
+			checksumCount++
+		}
+	}
+	// The file is overwhelmingly float payload; most flips must reach
+	// (and fail) the CRC rather than die structurally.
+	if checksumCount < len(img)/2 {
+		t.Fatalf("only %d/%d flips surfaced as ErrChecksum", checksumCount, len(img))
+	}
+}
+
+// TestReadChecksumSentinel pins the sentinel contract directly: corrupt
+// one payload byte, and errors.Is must match ErrChecksum while a plain
+// equality with some other error must not.
+func TestReadChecksumSentinel(t *testing.T) {
+	k := smallKernel(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, k); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	// Flip a byte near the end of the payload, just before the 4-byte
+	// trailer CRC: deep inside the last matrix's float data, where the
+	// decode is structurally valid and only the checksum can object.
+	img[len(img)-8] ^= 0x10
+	_, err := Read(bytes.NewReader(img))
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("payload corruption returned %v, want ErrChecksum", err)
+	}
+	if errors.Is(err, errors.New("tlrio: checksum mismatch")) {
+		t.Fatal("errors.Is matched a distinct error value; sentinel identity is broken")
+	}
+}

@@ -1,0 +1,199 @@
+package tlrio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/precision"
+	"repro/internal/tlr"
+)
+
+// smallKernel builds a compact two-matrix kernel with ragged edge tiles
+// (13x11 with nb=6) so the corruption tables stay cheap to sweep.
+func smallKernel(t *testing.T) *Kernel {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	k := &Kernel{}
+	for f := 0; f < 2; f++ {
+		a := smoothMatrix(rng, 13, 11)
+		tm, err := tlr.Compress(a, tlr.Options{NB: 6, Tol: 1e-4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.Freqs = append(k.Freqs, 3.0+float64(f))
+		k.Mats = append(k.Mats, tm)
+	}
+	return k
+}
+
+// pagedImage serializes a kernel to an in-memory paged file.
+func pagedImage(t *testing.T, k *Kernel, opts PagedOptions) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WritePaged(&buf, k, opts); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// loadAll opens an image and decodes every tile, returning nil tiles on
+// the first error.
+func loadAll(img []byte) ([][]*tlr.Tile, error) {
+	pf, err := OpenPaged(bytes.NewReader(img), int64(len(img)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*tlr.Tile, len(pf.Mats))
+	for mi, pm := range pf.Mats {
+		out[mi] = make([]*tlr.Tile, len(pm.Tiles))
+		for idx := range pm.Tiles {
+			tile, err := pf.LoadTile(mi, idx)
+			if err != nil {
+				return nil, err
+			}
+			out[mi][idx] = tile
+		}
+	}
+	return out, nil
+}
+
+func tilesEqual(a, b *tlr.Tile) bool {
+	if a.Rank() != b.Rank() || a.U.Rows != b.U.Rows || a.V.Rows != b.V.Rows {
+		return false
+	}
+	for _, pair := range [][2]interface{ Col(int) []complex64 }{{a.U, b.U}, {a.V, b.V}} {
+		for j := 0; j < a.Rank(); j++ {
+			ca, cb := pair[0].Col(j), pair[1].Col(j)
+			for i := range ca {
+				if ca[i] != cb[i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestPagedRoundTripFP32 checks the default (fp32) paged store decodes
+// every tile bit-identically, across page sizes including ones forcing
+// multi-page tiles.
+func TestPagedRoundTripFP32(t *testing.T) {
+	k := testKernel(t)
+	for _, ps := range []int{64, 256, DefaultPageSize} {
+		img := pagedImage(t, k, PagedOptions{PageSize: ps})
+		pf, err := OpenPaged(bytes.NewReader(img), int64(len(img)))
+		if err != nil {
+			t.Fatalf("ps=%d: %v", ps, err)
+		}
+		if pf.PageSize != ps || len(pf.Mats) != len(k.Mats) {
+			t.Fatalf("ps=%d: got pageSize=%d mats=%d", ps, pf.PageSize, len(pf.Mats))
+		}
+		for mi, tm := range k.Mats {
+			pm := pf.Mats[mi]
+			if pm.Freq != k.Freqs[mi] || pm.M != tm.M || pm.N != tm.N || pm.NB != tm.NB {
+				t.Fatalf("ps=%d mat=%d: geometry mismatch %+v", ps, mi, pm)
+			}
+			for idx := range pm.Tiles {
+				got, err := pf.LoadTile(mi, idx)
+				if err != nil {
+					t.Fatalf("ps=%d mat=%d tile=%d: %v", ps, mi, idx, err)
+				}
+				if !tilesEqual(got, tm.Tile(idx/tm.NT, idx%tm.NT)) {
+					t.Fatalf("ps=%d mat=%d tile=%d: fp32 round trip not bit-exact", ps, mi, idx)
+				}
+			}
+		}
+	}
+}
+
+// TestPagedTiersMatchQuantize checks that a tile decoded from a reduced
+// storage tier equals precision.Quantize of the in-memory tile exactly
+// (0 ULPs) — the paged encoder replicates the quantizer's per-panel
+// power-of-two scaling bit for bit, which is what lets the differential
+// oracle hold store-backed and in-memory quantized paths to identical
+// outputs.
+func TestPagedTiersMatchQuantize(t *testing.T) {
+	k := smallKernel(t)
+	policies := []precision.Policy{
+		precision.Uniform{F: precision.FP16},
+		precision.Uniform{F: precision.BF16},
+		precision.DiagonalBand{Band: 0.25, Demoted: precision.FP16},
+		precision.DiagonalBand{Band: 0.25, Demoted: precision.BF16},
+	}
+	for _, pol := range policies {
+		img := pagedImage(t, k, PagedOptions{PageSize: 128, Policy: pol})
+		pf, err := OpenPaged(bytes.NewReader(img), int64(len(img)))
+		if err != nil {
+			t.Fatalf("%T: %v", pol, err)
+		}
+		for mi, tm := range k.Mats {
+			q, err := precision.Quantize(tm, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for idx := range pf.Mats[mi].Tiles {
+				got, err := pf.LoadTile(mi, idx)
+				if err != nil {
+					t.Fatalf("%T mat=%d tile=%d: %v", pol, mi, idx, err)
+				}
+				if !tilesEqual(got, q.T.Tile(idx/tm.NT, idx%tm.NT)) {
+					t.Fatalf("%+v mat=%d tile=%d: decode differs from precision.Quantize", pol, mi, idx)
+				}
+			}
+		}
+	}
+}
+
+// TestPagedCorruptionTable flips one byte at every offset of a small
+// paged image and asserts the corruption never goes unnoticed: either
+// open/load errors (CRC-32C mismatches wrap ErrChecksum; header and
+// index damage may also surface structurally), or — for flips landing
+// in the zero padding between a payload and its page boundary — every
+// tile still decodes bit-identically to the original.
+func TestPagedCorruptionTable(t *testing.T) {
+	k := smallKernel(t)
+	img := pagedImage(t, k, PagedOptions{PageSize: 64, Policy: precision.DiagonalBand{Band: 0.3, Demoted: precision.FP16}})
+	want, err := loadAll(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errCount, checksumCount, padCount int
+	for off := range img {
+		mut := bytes.Clone(img)
+		mut[off] ^= 0x40
+		got, err := loadAll(mut)
+		if err != nil {
+			errCount++
+			if errors.Is(err, ErrChecksum) {
+				checksumCount++
+			}
+			continue
+		}
+		padCount++
+		for mi := range want {
+			for idx := range want[mi] {
+				if !tilesEqual(got[mi][idx], want[mi][idx]) {
+					t.Fatalf("offset %d: flip in unprotected bytes changed tile %d/%d", off, mi, idx)
+				}
+			}
+		}
+	}
+	if errCount == 0 || checksumCount == 0 {
+		t.Fatalf("corruption sweep: %d errors (%d checksum) over %d offsets", errCount, checksumCount, len(img))
+	}
+	t.Logf("swept %d offsets: %d errored (%d via ErrChecksum), %d landed in padding", len(img), errCount, checksumCount, padCount)
+}
+
+// TestPagedOpenRejectsTruncation covers structural validation: images
+// cut mid-index or mid-header must error rather than misparse.
+func TestPagedOpenRejectsTruncation(t *testing.T) {
+	k := smallKernel(t)
+	img := pagedImage(t, k, PagedOptions{PageSize: 64})
+	for _, cut := range []int{0, 8, pagedHeaderLen - 1, len(img) / 2, len(img) - 1} {
+		if _, err := OpenPaged(bytes.NewReader(img[:cut]), int64(cut)); err == nil {
+			t.Fatalf("truncation to %d bytes opened cleanly", cut)
+		}
+	}
+}

@@ -16,8 +16,8 @@ package tlrio
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
-	"hash"
 	"hash/crc32"
 	"io"
 	"math"
@@ -30,6 +30,12 @@ var magic = [4]byte{'T', 'L', 'R', 'K'}
 
 // Version is the current format version.
 const Version uint32 = 1
+
+// ErrChecksum is the sentinel wrapped by every CRC-mismatch error this
+// package returns (the monolithic trailer CRC of Read and the per-page
+// CRC-32C of the paged reader alike), so callers can distinguish media
+// corruption from structural decode failures with errors.Is.
+var ErrChecksum = errors.New("tlrio: checksum mismatch")
 
 // maxDim bounds decoded dimensions to keep corrupted headers from
 // attempting absurd allocations.
@@ -152,7 +158,7 @@ func Read(r io.Reader) (*Kernel, error) {
 		if err := binary.Read(in, binary.LittleEndian, &f); err != nil {
 			return nil, fmt.Errorf("tlrio: matrix %d frequency: %w", i, err)
 		}
-		mat, err := readMatrix(in, crc)
+		mat, err := readMatrix(in)
 		if err != nil {
 			return nil, fmt.Errorf("tlrio: matrix %d: %w", i, err)
 		}
@@ -165,12 +171,16 @@ func Read(r io.Reader) (*Kernel, error) {
 		return nil, fmt.Errorf("tlrio: reading checksum: %w", err)
 	}
 	if got != want {
-		return nil, fmt.Errorf("tlrio: checksum mismatch (file %08x, computed %08x)", got, want)
+		return nil, fmt.Errorf("%w (file %08x, computed %08x)", ErrChecksum, got, want)
 	}
 	return k, nil
 }
 
-func readMatrix(r io.Reader, _ hash.Hash32) (*tlr.Matrix, error) {
+// readMatrix decodes one matrix from r. The running CRC is folded in by
+// the caller's TeeReader wrapped around r — this function used to take a
+// hash.Hash32 it never touched, which read as if per-matrix verification
+// happened here; it does not, the trailer CRC in Read covers everything.
+func readMatrix(r io.Reader) (*tlr.Matrix, error) {
 	dims, err := readI32s(r, 3)
 	if err != nil {
 		return nil, err
