@@ -357,6 +357,27 @@ func gaugeOrZero(snap obs.Snapshot, name string) int64 {
 	return v
 }
 
+// validateFlags rejects nonsensical numeric flags before any dataset is
+// generated. A zero shard count would divide the frequency fan-out by
+// nothing and a nonpositive checkpoint interval would make the
+// resilient solver checkpoint never (or spin), so both fail at startup
+// with the flag named.
+func validateFlags(iters, shards, ckptInterval int, storeBudget int64) error {
+	if iters < 1 {
+		return fmt.Errorf("-iters must be at least 1 (got %d)", iters)
+	}
+	if shards < 1 {
+		return fmt.Errorf("-shards must be at least 1 (got %d)", shards)
+	}
+	if ckptInterval < 1 {
+		return fmt.Errorf("-ckpt-interval must be at least 1 (got %d)", ckptInterval)
+	}
+	if storeBudget < 0 {
+		return fmt.Errorf("-store-budget must not be negative (got %d; 0 means a quarter of the operator)", storeBudget)
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	f11 := flag.Bool("fig11", false, "single-virtual-source MDD (Fig. 11)")
@@ -375,6 +396,9 @@ func main() {
 	if !*f11 && !*f13 && !*fdemo && !*fstore {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := validateFlags(*iters, *shards, *ckptInterval, *storeBudget); err != nil {
+		log.Fatalf("mddrun: %v", err)
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name         string
+		iters        int
+		shards       int
+		ckptInterval int
+		storeBudget  int64
+		wantErr      string // "" means the flags must be accepted
+	}{
+		{"defaults", 30, 8, 5, 0, ""},
+		{"minimal", 1, 1, 1, 0, ""},
+		{"explicit budget", 30, 8, 5, 1 << 20, ""},
+		{"zero iters", 0, 8, 5, 0, "-iters"},
+		{"negative iters", -4, 8, 5, 0, "-iters"},
+		{"zero shards", 30, 0, 5, 0, "-shards"},
+		{"negative shards", 30, -2, 5, 0, "-shards"},
+		{"zero ckpt interval", 30, 8, 0, 0, "-ckpt-interval"},
+		{"negative ckpt interval", 30, 8, -5, 0, "-ckpt-interval"},
+		{"negative store budget", 30, 8, 5, -1, "-store-budget"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.iters, tc.shards, tc.ckptInterval, tc.storeBudget)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags(%d, %d, %d, %d) = %v, want nil",
+						tc.iters, tc.shards, tc.ckptInterval, tc.storeBudget, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateFlags(%d, %d, %d, %d) = nil, want error naming %s",
+					tc.iters, tc.shards, tc.ckptInterval, tc.storeBudget, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the offending flag %s", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -30,6 +30,38 @@ import (
 	"repro/internal/mddserve"
 )
 
+// validateConfig rejects nonsensical sizing flags before any listener
+// or worker pool is created. Zero or negative worker/shard/queue values
+// would deadlock admission (jobs accepted, nobody to run them) rather
+// than fail loudly, so they are caught here with the flag name spelled
+// out.
+func validateConfig(cfg mddserve.Config) error {
+	checks := []struct {
+		name string
+		val  int
+	}{
+		{"-workers", cfg.Workers},
+		{"-shards", cfg.Shards},
+		{"-queue", cfg.QueueSize},
+		{"-tenant-inflight", cfg.PerTenantInflight},
+		{"-max-sources", cfg.MaxSources},
+		{"-max-receivers", cfg.MaxReceivers},
+		{"-max-nt", cfg.MaxNt},
+	}
+	for _, c := range checks {
+		if c.val < 1 {
+			return fmt.Errorf("%s must be at least 1 (got %d)", c.name, c.val)
+		}
+	}
+	if cfg.StoreBudget < 0 {
+		return fmt.Errorf("-store-budget must not be negative (got %d; 0 means half the kernel)", cfg.StoreBudget)
+	}
+	if cfg.StoreBudget > 0 && cfg.StoreDir == "" {
+		return fmt.Errorf("-store-budget requires -store-dir (the budget caps a paged tile cache)")
+	}
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8700", "listen address")
 	workers := flag.Int("workers", 2, "worker goroutines (each owns a shard runner)")
@@ -54,6 +86,9 @@ func main() {
 		MaxNt:             *maxNt,
 		StoreDir:          *storeDir,
 		StoreBudget:       *storeBudget,
+	}
+	if err := validateConfig(cfg); err != nil {
+		log.Fatalf("mddserve: %v", err)
 	}
 	if *storeDir != "" {
 		if err := os.MkdirAll(*storeDir, 0o755); err != nil {

@@ -24,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -54,6 +55,7 @@ func main() {
 	}
 
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	catalog := flag.Bool("catalog", false, "print the analyzer catalog as JSON and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [-only names] [packages]\n       %s <vet>.cfg   (go vet -vettool mode)\n\nanalyzers:\n", progname, progname)
 		for _, a := range analysis.All() {
@@ -61,6 +63,16 @@ func main() {
 		}
 	}
 	flag.Parse()
+
+	if *catalog {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(analysis.Catalog()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	analyzers, err := analysis.ByName(*only)
 	if err != nil {
@@ -83,7 +95,10 @@ func runStandalone(analyzers []*analysis.Analyzer) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	mod, err := analysis.LoadModule(wd, false)
+	// The driver loads and type-checks the module exactly once; every
+	// analyzer (and every Module.Cached artifact: call graph, summaries,
+	// escape info) shares that single load.
+	diags, mod, err := (&analysis.Driver{}).Run(wd, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
 		return 2
@@ -98,41 +113,6 @@ func runStandalone(analyzers []*analysis.Analyzer) int {
 			return 1
 		}
 	}
-
-	var diags []analysis.Diagnostic
-	for _, pkg := range mod.SortedPackages() {
-		for _, a := range analyzers {
-			pass := analysis.NewPass(a, mod.Fset, pkg, mod, &diags)
-			if err := a.Run(pass); err != nil {
-				fmt.Fprintf(os.Stderr, "repolint: %s on %s: %v\n", a.Name, pkg.Path, err)
-				return 2
-			}
-		}
-	}
-
-	// Test variants: only analyzers whose rules cover _test.go files
-	// run here, and only findings positioned in test files are kept
-	// (augmented variants re-contain the regular sources).
-	for _, pkg := range mod.LoadTestPackages() {
-		for _, a := range analyzers {
-			if !a.TestFiles {
-				continue
-			}
-			var tdiags []analysis.Diagnostic
-			pass := analysis.NewPass(a, mod.Fset, pkg, mod, &tdiags)
-			if err := a.Run(pass); err != nil {
-				fmt.Fprintf(os.Stderr, "repolint: %s on %s: %v\n", a.Name, pkg.Path, err)
-				return 2
-			}
-			for _, d := range tdiags {
-				if strings.HasSuffix(mod.Fset.Position(d.Pos).Filename, "_test.go") {
-					diags = append(diags, d)
-				}
-			}
-		}
-	}
-
-	analysis.SortDiagnostics(mod.Fset, diags)
 	for _, d := range diags {
 		pos := mod.Fset.Position(d.Pos)
 		rel, err := filepath.Rel(wd, pos.Filename)

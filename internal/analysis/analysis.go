@@ -1,6 +1,6 @@
 // Package analysis is the repo's domain-invariant static analysis suite:
 // a small, dependency-free framework in the shape of golang.org/x/tools'
-// go/analysis, plus eleven analyzers that turn this repo's correctness
+// go/analysis, plus thirteen analyzers that turn this repo's correctness
 // conventions into compiler-checked rules. The conventions exist because
 // the continuous-benchmarking gate (internal/benchreport) and the
 // §6.5–§6.7 cycle/meter invariants treat the machine-model outputs as
@@ -18,7 +18,11 @@
 // function-summary fixpoint engine. It powers allocfree's transitive
 // mode (a hot path is clean only if everything it reaches is), the
 // goleak goroutine-termination analyzer, and the reqtaint
-// untrusted-size-flow analyzer.
+// untrusted-size-flow analyzer. A goroutine-escape layer (escape.go)
+// sits on the same call graph and feeds the two concurrency analyzers:
+// racecheck, a lockset-based static race detector, and ctxflow, which
+// requires blocking operations in the serving/batch/fault stacks to be
+// cancellable.
 //
 // The analyzers (see their files for the precise rules):
 //
@@ -173,8 +177,45 @@ func All() []*Analyzer {
 		LockOrder,
 		GoLeak,
 		ReqTaint,
+		RaceCheck,
+		CtxFlow,
 		LintLint,
 	}
+}
+
+// CatalogEntry is one analyzer's machine-readable catalog row, the
+// source of truth the TESTING.md analyzer table is regenerated from
+// (cmd/repolint -catalog emits the full list as JSON; a drift test
+// fails when the table and the registered set disagree).
+type CatalogEntry struct {
+	Name        string `json:"name"`
+	Doc         string `json:"doc"`
+	Escape      string `json:"escape,omitempty"`
+	Fixture     string `json:"fixture"`
+	NeedsModule bool   `json:"needsModule,omitempty"`
+	TestFiles   bool   `json:"testFiles,omitempty"`
+}
+
+// Catalog lists every registered analyzer in suite order with its
+// escape directive (from the directive registry) and fixture path.
+func Catalog() []CatalogEntry {
+	var out []CatalogEntry
+	for _, a := range All() {
+		e := CatalogEntry{
+			Name:        a.Name,
+			Doc:         a.Doc,
+			Fixture:     "testdata/" + a.Name + "/",
+			NeedsModule: a.NeedsModule,
+			TestFiles:   a.TestFiles,
+		}
+		for dir, info := range knownDirectives {
+			if info.Owner == a.Name && info.Kind == directiveEscape {
+				e.Escape = "//lint:" + dir
+			}
+		}
+		out = append(out, e)
+	}
+	return out
 }
 
 // ByName resolves a comma-separated analyzer name list ("" = all).
@@ -319,6 +360,8 @@ var knownDirectives = map[string]directiveInfo{
 	"oracle-exempt": {directiveEscape, "oraclereg"},
 	"goleak-ok":     {directiveEscape, "goleak"},
 	"taint-ok":      {directiveEscape, "reqtaint"},
+	"race-ok":       {directiveEscape, "racecheck"},
+	"ctx-ok":        {directiveEscape, "ctxflow"},
 }
 
 // markerLines is the escape-aware form analyzers call: when the pass

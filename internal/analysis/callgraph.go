@@ -78,7 +78,10 @@ func (g *CallGraph) SortedNodes() []*FuncNode {
 
 // CallGraph returns the module's call graph, building it on first use.
 func (m *Module) CallGraph() *CallGraph {
-	return m.Cached("callgraph", func() any { return buildCallGraph(m) }).(*CallGraph)
+	return m.Cached("callgraph", func() any {
+		callGraphBuilds++
+		return buildCallGraph(m)
+	}).(*CallGraph)
 }
 
 func buildCallGraph(m *Module) *CallGraph {

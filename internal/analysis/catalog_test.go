@@ -1,0 +1,88 @@
+package analysis_test
+
+import (
+	"bufio"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// catalogRow is one parsed line of TESTING.md's analyzer table.
+type catalogRow struct {
+	name, escape, fixture string
+}
+
+// tableRowRE matches the data rows of the catalog table:
+//
+//	| `name` | invariant prose | `//lint:x` or — | `testdata/name/` |
+var tableRowRE = regexp.MustCompile("^\\| `([a-z]+)` \\| .+ \\| (—|`//lint:[a-z-]+`) \\| `(testdata/[a-z]+/)` \\|$")
+
+func readDocCatalog(t *testing.T) []catalogRow {
+	t.Helper()
+	f, err := os.Open("../../TESTING.md")
+	if err != nil {
+		t.Fatalf("open TESTING.md: %v", err)
+	}
+	defer f.Close()
+
+	var rows []catalogRow
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := tableRowRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		escape := m[2]
+		if escape == "—" {
+			escape = ""
+		} else {
+			escape = strings.Trim(escape, "`")
+		}
+		rows = append(rows, catalogRow{name: m[1], escape: escape, fixture: m[3]})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan TESTING.md: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no catalog table rows found in TESTING.md (format changed?)")
+	}
+	return rows
+}
+
+// TestCatalogDrift pins TESTING.md's analyzer table to the registered
+// set: `cmd/repolint -catalog` is the machine-readable source of truth,
+// and the doc table must agree with it row for row (same analyzers, same
+// order, same escape directives, same fixture paths). Adding, renaming,
+// or re-escaping an analyzer without regenerating the table fails here.
+func TestCatalogDrift(t *testing.T) {
+	doc := readDocCatalog(t)
+	reg := analysis.Catalog()
+
+	if len(doc) != len(reg) {
+		var docNames, regNames []string
+		for _, r := range doc {
+			docNames = append(docNames, r.name)
+		}
+		for _, e := range reg {
+			regNames = append(regNames, e.Name)
+		}
+		t.Fatalf("TESTING.md table has %d analyzers %v; registered set has %d %v",
+			len(doc), docNames, len(reg), regNames)
+	}
+	for i, e := range reg {
+		r := doc[i]
+		if r.name != e.Name {
+			t.Errorf("row %d: TESTING.md lists %q, registered order has %q", i, r.name, e.Name)
+			continue
+		}
+		if r.escape != e.Escape {
+			t.Errorf("%s: TESTING.md escape %q, registered %q", e.Name, r.escape, e.Escape)
+		}
+		if r.fixture != e.Fixture {
+			t.Errorf("%s: TESTING.md fixture %q, registered %q", e.Name, r.fixture, e.Fixture)
+		}
+	}
+}

@@ -171,6 +171,40 @@ func TestBuildCFGShapes(t *testing.T) {
 			edges:  3, // body->exit, unreachable->exit
 			dead:   1,
 		},
+		{
+			// ctxflow's canonical cancellable worker: the loop's only
+			// exits run through select comm arms, so the cycle must pass
+			// the Done arm (a cancel block) on every iteration.
+			name: "for around select with only Done arms",
+			src: "for {\n select {\n case <-ctx.Done():\n  return\n case <-tick.C:\n  work()\n }\n}",
+			// + for head/body/after, select.after, 2 comm bodies,
+			// unreachable-after-return
+			blocks: 10,
+			edges:  10, // tick arm loops back via select.after -> head
+			dead:   2,  // for.after, unreachable-after-return
+		},
+		{
+			name: "nested selects with default",
+			src: "select {\ncase v := <-ch:\n sink(v)\ndefault:\n select {\n case ch <- 1:\n  d()\n default:\n  e()\n }\n}",
+			// outer select.after + 2 comm bodies, inner select.after +
+			// 2 comm bodies; the inner select dispatches straight from
+			// the outer default's comm block
+			blocks: 9,
+			edges:  10,
+			dead:   0,
+		},
+		{
+			// Backward goto whose target label wraps a select: the label
+			// block must re-enter the select's dispatch, giving the comm
+			// arms two predecessors.
+			name: "goto into a select-containing block",
+			src: "x = 1\nloop:\n select {\n case <-ch:\n  a()\n default:\n }\nif x < 3 {\n x++\n goto loop\n}",
+			// + label.loop, select.after, 2 comm bodies, if.then,
+			// if.after, unreachable-after-goto
+			blocks: 10,
+			edges:  11, // includes then -> label.loop back edge
+			dead:   1,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

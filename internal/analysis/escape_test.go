@@ -1,0 +1,86 @@
+package analysis_test
+
+import (
+	"go/types"
+	"sort"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestGoroutineEscapes checks the escape layer's facts directly on the
+// racecheck fixture module: direct go-closure capture, loop spawns,
+// transitive spawn reachability through a callee, and channel-send
+// hand-off recording.
+func TestGoroutineEscapes(t *testing.T) {
+	mod, err := analysis.LoadModule("testdata/racecheck", false)
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	escapes := analysis.GoroutineEscapes(mod)
+	byName := map[string]*analysis.EscapeInfo{}
+	for fn, esc := range escapes {
+		byName[fn.Name()] = esc
+	}
+	get := func(name string) *analysis.EscapeInfo {
+		t.Helper()
+		esc := byName[name]
+		if esc == nil {
+			t.Fatalf("no escape info for %s", name)
+		}
+		return esc
+	}
+	captured := func(s *analysis.SpawnSite) []string {
+		var names []string
+		for obj := range s.Captured {
+			names = append(names, obj.Name())
+		}
+		sort.Strings(names)
+		return names
+	}
+
+	un := get("unguarded")
+	if len(un.Sites) != 1 || un.Sites[0].Body == nil || un.Sites[0].InLoop {
+		t.Fatalf("unguarded: want one non-loop closure site, got %+v", un.Sites)
+	}
+	if got := captured(un.Sites[0]); len(got) != 1 || got[0] != "n" {
+		t.Errorf("unguarded captures = %v, want [n]", got)
+	}
+
+	ls := get("loopShared")
+	if len(ls.Sites) != 1 || !ls.Sites[0].InLoop {
+		t.Fatalf("loopShared: want one in-loop site, got %+v", ls.Sites)
+	}
+
+	// caller has no go statement of its own: its site comes from the
+	// spawn-reaching parameters of runTask, found by the fixpoint.
+	ca := get("caller")
+	if len(ca.Sites) != 1 {
+		t.Fatalf("caller: want one transitive spawn site, got %d", len(ca.Sites))
+	}
+	if ca.Sites[0].Go != nil || ca.Sites[0].Body != nil {
+		t.Errorf("caller site should be a spawning call, got go=%v body=%v",
+			ca.Sites[0].Go, ca.Sites[0].Body)
+	}
+	names := captured(ca.Sites[0])
+	wantBuf := false
+	for _, n := range names {
+		if n == "buf" {
+			wantBuf = true
+		}
+	}
+	if !wantBuf {
+		t.Errorf("caller site captures = %v, want buf included", names)
+	}
+
+	pub := get("publish")
+	sent := map[string]bool{}
+	for obj := range pub.ChanSent {
+		if _, ok := obj.(*types.Var); ok {
+			sent[obj.Name()] = true
+		}
+	}
+	if !sent["res"] {
+		t.Errorf("publish ChanSent = %v, want res recorded as hand-off", sent)
+	}
+}

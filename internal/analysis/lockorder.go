@@ -88,11 +88,24 @@ func (s lockSet) any() string {
 
 func checkLockOrder(pass *Pass, fn *ast.FuncDecl, okLines map[int]bool) {
 	cfg := BuildCFG(fn.Body)
+	in := lockFixpoint(pass.TypesInfo, cfg)
+	reported := map[token.Pos]bool{}
+	for _, b := range cfg.Blocks {
+		if in[b.Index] == nil {
+			continue
+		}
+		transferLockBlock(pass, b, in[b.Index].clone(), okLines, reported)
+	}
+}
+
+// lockFixpoint computes the may-held lock set entering each block: a
+// forward fixpoint where in[b] is the union of predecessors' outs (a
+// lock held on any incoming path counts as held). Entry blocks of
+// unreachable regions stay nil. Shared with racecheck, whose lockset
+// discipline must agree with lockorder's exactly.
+func lockFixpoint(info *types.Info, cfg *CFG) []lockSet {
 	in := make([]lockSet, len(cfg.Blocks))
 	in[cfg.Entry.Index] = lockSet{}
-
-	// forward fixpoint: in[b] is the union of predecessors' outs (a lock
-	// held on any incoming path counts as held)
 	changed := true
 	for changed {
 		changed = false
@@ -100,7 +113,10 @@ func checkLockOrder(pass *Pass, fn *ast.FuncDecl, okLines map[int]bool) {
 			if in[b.Index] == nil {
 				continue
 			}
-			out := transferLockBlock(pass, b, in[b.Index].clone(), nil, nil)
+			out := in[b.Index].clone()
+			for _, s := range b.Stmts {
+				applyLockEffects(info, s, out)
+			}
 			for _, succ := range b.Succs {
 				merged := in[succ.Index]
 				if merged == nil {
@@ -117,14 +133,7 @@ func checkLockOrder(pass *Pass, fn *ast.FuncDecl, okLines map[int]bool) {
 			}
 		}
 	}
-
-	reported := map[token.Pos]bool{}
-	for _, b := range cfg.Blocks {
-		if in[b.Index] == nil {
-			continue
-		}
-		transferLockBlock(pass, b, in[b.Index].clone(), okLines, reported)
-	}
+	return in
 }
 
 // transferLockBlock walks one block applying lock effects in statement
@@ -155,7 +164,7 @@ func transferLockBlock(pass *Pass, b *Block, held lockSet, okLines map[int]bool,
 		for _, e := range stmtExprs(nil, s) {
 			scanChanOps(pass, e, report)
 		}
-		applyLockEffects(pass, s, held)
+		applyLockEffects(pass.TypesInfo, s, held)
 	}
 	if b.Cond != nil {
 		scanChanOps(pass, b.Cond, report)
@@ -202,7 +211,7 @@ func recvNamed(fn *types.Func) string {
 // Deferred unlocks run at function exit and so do not release within the
 // body — which is precisely the `mu.Lock(); defer mu.Unlock(); ch <- v`
 // pattern this analyzer exists to flag.
-func applyLockEffects(pass *Pass, s ast.Stmt, held lockSet) {
+func applyLockEffects(info *types.Info, s ast.Stmt, held lockSet) {
 	es, ok := s.(*ast.ExprStmt)
 	if !ok {
 		return
@@ -211,7 +220,7 @@ func applyLockEffects(pass *Pass, s ast.Stmt, held lockSet) {
 	if !ok {
 		return
 	}
-	key, op, ok := lockOp(pass.TypesInfo, call)
+	key, op, ok := lockOp(info, call)
 	if !ok {
 		return
 	}

@@ -1,0 +1,602 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// RaceCheck is the lockset half of the concurrency suite: on top of the
+// goroutine-escape layer it flags shared mutable state reached from
+// more than one goroutine without a consistent guard. For every
+// function with spawn sites it collects the accesses to escaped
+// variables in the parent body and in each go'd closure body, each
+// access annotated with the may-held lock set at that program point
+// (lockorder's forward fixpoint, so the discipline is identical), and
+// reports pairs that can run concurrently, touch overlapping state
+// (same variable, same field path or a prefix of it), include a write,
+// and hold no lock in common.
+//
+// Concurrency is decided structurally, recognizing the safe idioms the
+// tree actually uses:
+//
+//   - pre-spawn initialization is safe publication: a parent access
+//     before the go statement happens-before the goroutine (unless the
+//     spawn sits in a loop and the access is inside that loop, where a
+//     later iteration races with an earlier goroutine);
+//   - sync.WaitGroup.Wait between the spawn and a parent access joins
+//     the goroutine — the access is ordered, not concurrent;
+//   - sending a pointer-like value on a channel is ownership hand-off:
+//     the sender publishes and the receiver owns, so handed-off
+//     variables are exempt;
+//   - sync/atomic calls are guards, not accesses; channel-typed and
+//     sync-primitive-typed state is self-synchronizing; Go 1.22 loop
+//     variables are per-iteration and cannot be shared between
+//     iterations; variables declared inside the spawning loop are
+//     fresh per iteration too.
+//
+// A spawn whose goroutine body is not locally visible (`go f(x)`, or a
+// call into a spawning callee found by the escape fixpoint) is treated
+// as reading everything it captures: an unguarded parent write after
+// such a spawn is flagged. Escape: //lint:race-ok <reason>.
+var RaceCheck = &Analyzer{
+	Name: "racecheck",
+	Doc: "flag shared mutable state reached from more than one goroutine " +
+		"without a consistent lock, atomic, or hand-off discipline " +
+		"(escape: //lint:race-ok <reason>)",
+	NeedsModule: true,
+	Run:         runRaceCheck,
+}
+
+func runRaceCheck(pass *Pass) error {
+	if pass.Module == nil || pass.TestVariant {
+		return nil
+	}
+	escapes := GoroutineEscapes(pass.Module)
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		okLines := pass.markerLines(file, "race-ok")
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			esc := escapes[fn]
+			if esc == nil || len(esc.Sites) == 0 {
+				continue
+			}
+			checkRaces(pass, fd, esc, okLines)
+		}
+	}
+	return nil
+}
+
+// raceAccess is one touch of an escaped variable: where, read or write,
+// under which may-held locks, and in which goroutine region (site nil
+// means the parent body).
+type raceAccess struct {
+	obj   types.Object
+	path  string
+	write bool
+	pos   token.Pos
+	locks lockSet
+	site  *SpawnSite
+	// elemLocal marks an element access whose index involves a value
+	// local to the goroutine region (a closure parameter, a received
+	// job): the sharded-slice idiom, where instances touch disjoint
+	// elements.
+	elemLocal bool
+}
+
+// declShape holds the structural facts pair checking needs: loop spans
+// around each spawn site, loop-variable declaration spans, and the
+// positions of parent-side WaitGroup.Wait joins.
+type declShape struct {
+	siteLoop map[token.Pos]span
+	loopVars []span
+	joins    []token.Pos
+}
+
+func checkRaces(pass *Pass, fd *ast.FuncDecl, esc *EscapeInfo, okLines map[int]bool) {
+	info := pass.TypesInfo
+	shape := collectDeclShape(info, fd, esc)
+
+	// skip holds every go'd closure body: each is scanned as its own
+	// region, never as part of an enclosing one.
+	skip := map[*ast.BlockStmt]bool{}
+	for _, s := range esc.Sites {
+		if s.Body != nil {
+			skip[s.Body] = true
+		}
+	}
+
+	tracked := func(obj types.Object) bool {
+		if !esc.Captured(obj) || esc.ChanSent[obj] {
+			return false
+		}
+		if isSelfSynced(obj.Type()) {
+			return false
+		}
+		for _, sp := range shape.loopVars {
+			if sp.contains(obj.Pos()) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var accesses []*raceAccess
+	accesses = appendRegionAccesses(accesses, info, fd.Body, skip, tracked, nil)
+	for _, s := range esc.Sites {
+		if s.Body != nil {
+			accesses = appendRegionAccesses(accesses, info, s.Body, skip, tracked, s)
+		}
+	}
+
+	byObj := map[types.Object][]*raceAccess{}
+	for _, a := range accesses {
+		byObj[a.obj] = append(byObj[a.obj], a)
+	}
+
+	reported := map[string]bool{}
+	report := func(at *raceAccess, site *SpawnSite) {
+		key := at.obj.Name() + "\x00" + at.path
+		if reported[key] || okLines[pass.Fset.Position(at.pos).Line] {
+			return
+		}
+		reported[key] = true
+		pass.Reportf(at.pos, "%s is shared with the goroutine started at line %d and written without a consistent guard; protect both sides with one mutex, use sync/atomic or a channel hand-off, or annotate //lint:race-ok <reason>",
+			at.path, pass.Fset.Position(site.Pos).Line)
+	}
+
+	for _, accs := range byObj {
+		for i, a := range accs {
+			for j := i; j < len(accs); j++ {
+				b := accs[j]
+				if !pathsConflict(a, b) {
+					continue
+				}
+				if !a.locks.disjoint(b.locks) {
+					continue
+				}
+				if !concurrentAccesses(a, b, shape) {
+					continue
+				}
+				if a.site != nil && a.site == b.site && a.elemLocal && b.elemLocal {
+					// Sharded writes: each goroutine instance owns the
+					// elements its private index reaches.
+					continue
+				}
+				at, site := a, b.site
+				if !at.write || (b.write && b.pos > at.pos) {
+					at = b
+				}
+				if site == nil {
+					site = a.site
+				}
+				report(at, site)
+			}
+		}
+		// Invisible goroutines (go f(x), spawning callees): an unguarded
+		// parent write after the spawn races with the goroutine's
+		// presumed reads of what it captured.
+		for _, s := range esc.Sites {
+			if s.Body != nil {
+				continue
+			}
+			for _, a := range accs {
+				if a.site != nil || !a.write || len(a.locks) != 0 {
+					continue
+				}
+				if !s.Captured[a.obj] || a.pos < s.Pos || joined(shape.joins, s.Pos, a.pos) {
+					continue
+				}
+				report(a, s)
+			}
+		}
+	}
+}
+
+func (s lockSet) disjoint(o lockSet) bool {
+	for k := range s {
+		if o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// pathsConflict reports whether the two accesses can touch the same
+// memory with at least one write. Equal paths conflict when either
+// writes. A strict prefix only reads the pointer word on the way to the
+// longer path's field, so it conflicts only when the prefix access
+// itself is a write (reassigning the base races with any use through
+// it; reading the base does not race with a field write).
+func pathsConflict(a, b *raceAccess) bool {
+	if a.path == b.path {
+		return a.write || b.write
+	}
+	if strings.HasPrefix(b.path, a.path+".") {
+		return a.write
+	}
+	if strings.HasPrefix(a.path, b.path+".") {
+		return b.write
+	}
+	return false
+}
+
+// concurrentAccesses reports whether the two accesses can run at the
+// same time, applying safe publication, WaitGroup joins, and
+// per-iteration freshness.
+func concurrentAccesses(a, b *raceAccess, shape *declShape) bool {
+	if a.site == b.site {
+		if a.site == nil {
+			return false // both in the parent: program order
+		}
+		// Same goroutine body: concurrent with itself only when the
+		// spawn loops and the variable outlives one iteration.
+		loop, inLoop := shape.siteLoop[a.site.Pos]
+		return a.site.InLoop && (!inLoop || !loop.contains(a.obj.Pos()))
+	}
+	if a.site != nil && b.site != nil {
+		return true // two distinct goroutines
+	}
+	parent, other := a, b
+	if parent.site != nil {
+		parent, other = b, a
+	}
+	site := other.site
+	if joined(shape.joins, site.Pos, parent.pos) {
+		return false
+	}
+	if parent.pos < site.Pos {
+		// Pre-spawn: safe publication, unless the spawn loops and the
+		// parent access is inside that loop (a later iteration overlaps
+		// an earlier goroutine). A variable declared inside the loop is
+		// fresh per iteration, so cross-iteration overlap cannot alias.
+		if loop, ok := shape.siteLoop[site.Pos]; ok &&
+			loop.contains(parent.pos) && !loop.contains(parent.obj.Pos()) {
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// joined reports whether a WaitGroup.Wait sits between the spawn and
+// the access in source order.
+func joined(joins []token.Pos, spawn, access token.Pos) bool {
+	for _, j := range joins {
+		if spawn < j && j < access {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDeclShape walks the declaration once for loop spans around
+// spawn sites, loop-variable declarations, and parent-side joins.
+func collectDeclShape(info *types.Info, fd *ast.FuncDecl, esc *EscapeInfo) *declShape {
+	shape := &declShape{siteLoop: map[token.Pos]span{}, joins: esc.Joins}
+	sitePos := map[token.Pos]bool{}
+	for _, s := range esc.Sites {
+		sitePos[s.Pos] = true
+	}
+	innermostLoop := func(stack []ast.Node) (span, bool) {
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch l := stack[i].(type) {
+			case *ast.ForStmt:
+				return span{l.Pos(), l.End()}, true
+			case *ast.RangeStmt:
+				return span{l.Pos(), l.End()}, true
+			}
+		}
+		return span{}, false
+	}
+	walkNodeStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Init != nil {
+				shape.loopVars = append(shape.loopVars, span{n.Init.Pos(), n.Init.End()})
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				if n.Key != nil {
+					shape.loopVars = append(shape.loopVars, span{n.Key.Pos(), n.Key.End()})
+				}
+				if n.Value != nil {
+					shape.loopVars = append(shape.loopVars, span{n.Value.Pos(), n.Value.End()})
+				}
+			}
+		case *ast.CallExpr:
+			if sitePos[n.Pos()] {
+				if sp, ok := innermostLoop(stack); ok {
+					shape.siteLoop[n.Pos()] = sp
+				}
+			}
+		case *ast.GoStmt:
+			if sitePos[n.Pos()] {
+				if sp, ok := innermostLoop(stack); ok {
+					shape.siteLoop[n.Pos()] = sp
+				}
+			}
+		}
+	})
+	return shape
+}
+
+func insideFuncLit(stack []ast.Node) bool {
+	for _, n := range stack {
+		if isFuncLit(n) {
+			return true
+		}
+	}
+	return false
+}
+
+func isWaitGroupWait(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if ptr, ok := typeUnder(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named := namedOf(t)
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// isSelfSynced reports types that synchronize their own access:
+// channels and the sync/sync-atomic primitives.
+func isSelfSynced(t types.Type) bool {
+	if ptr, ok := typeUnder(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := typeUnder(t).(*types.Chan); ok {
+		return true
+	}
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() {
+	case "sync", "sync/atomic":
+		return true
+	}
+	return false
+}
+
+// appendRegionAccesses scans one goroutine region (the parent body or a
+// go'd closure body) with its own CFG and lock fixpoint, recording each
+// access to a tracked object together with the locks held at that
+// point.
+func appendRegionAccesses(out []*raceAccess, info *types.Info, body *ast.BlockStmt,
+	skip map[*ast.BlockStmt]bool, tracked func(types.Object) bool, site *SpawnSite) []*raceAccess {
+	cfg := BuildCFG(body)
+	in := lockFixpoint(info, cfg)
+	local := span{body.Pos(), body.End()}
+	if site != nil && site.Call != nil {
+		// Include the closure's parameter list: a go func(i int){...}(i)
+		// parameter is as region-local as a body variable.
+		local = span{site.Call.Fun.Pos(), site.Call.Fun.End()}
+	}
+	sc := &raceScanner{info: info, skip: skip, own: body, local: local, tracked: tracked, site: site}
+	for _, b := range cfg.Blocks {
+		held := lockSet{}
+		if in[b.Index] != nil {
+			held = in[b.Index].clone()
+		}
+		for _, s := range b.Stmts {
+			sc.held = held
+			sc.stmt(s)
+			applyLockEffects(info, s, held)
+		}
+		if b.Cond != nil {
+			sc.held = held
+			sc.expr(b.Cond, false)
+		}
+	}
+	return append(out, sc.out...)
+}
+
+type raceScanner struct {
+	info    *types.Info
+	skip    map[*ast.BlockStmt]bool
+	own     *ast.BlockStmt
+	local   span
+	tracked func(types.Object) bool
+	site    *SpawnSite
+	held    lockSet
+	out     []*raceAccess
+}
+
+// stmt records the accesses of one flat statement (CFG blocks carry no
+// nested control flow; range.head carries the RangeStmt as binding).
+func (sc *raceScanner) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, l := range s.Lhs {
+			sc.expr(l, true)
+		}
+		for _, r := range s.Rhs {
+			sc.expr(r, false)
+		}
+	case *ast.IncDecStmt:
+		sc.expr(s.X, true)
+	case *ast.RangeStmt:
+		sc.expr(s.X, false)
+		if s.Key != nil {
+			sc.expr(s.Key, s.Tok == token.ASSIGN)
+		}
+		if s.Value != nil {
+			sc.expr(s.Value, s.Tok == token.ASSIGN)
+		}
+	default:
+		for _, e := range stmtExprs(nil, s) {
+			sc.expr(e, false)
+		}
+	}
+}
+
+// expr records accesses inside an expression. write applies to the
+// outermost chain; address-taking promotes its operand to a write
+// (the address may be written through elsewhere).
+func (sc *raceScanner) expr(e ast.Expr, write bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		sc.chain(e.(ast.Expr), write)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			sc.expr(e.X, true)
+			return
+		}
+		sc.expr(e.X, write)
+	case *ast.BinaryExpr:
+		sc.expr(e.X, false)
+		sc.expr(e.Y, false)
+	case *ast.CallExpr:
+		sc.call(e)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				sc.expr(kv.Value, false)
+				continue
+			}
+			sc.expr(el, false)
+		}
+	case *ast.FuncLit:
+		if sc.skip[e.Body] {
+			return // another goroutine's region
+		}
+		// A synchronous closure runs on the caller's goroutine under the
+		// caller's locks at this point.
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if s, ok := n.(ast.Stmt); ok {
+				switch s.(type) {
+				case *ast.AssignStmt, *ast.IncDecStmt:
+					sc.stmt(s)
+					return false
+				}
+			}
+			if lit, ok := n.(*ast.FuncLit); ok && sc.skip[lit.Body] {
+				return false
+			}
+			if sub, ok := n.(ast.Expr); ok {
+				switch sub.(type) {
+				case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr, *ast.UnaryExpr, *ast.CallExpr:
+					sc.expr(sub, false)
+					return false
+				}
+			}
+			return true
+		})
+	case *ast.TypeAssertExpr:
+		sc.expr(e.X, false)
+	case *ast.SliceExpr:
+		sc.expr(e.X, write)
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			if idx != nil {
+				sc.expr(idx, false)
+			}
+		}
+	case *ast.KeyValueExpr:
+		sc.expr(e.Value, false)
+	}
+}
+
+func (sc *raceScanner) call(call *ast.CallExpr) {
+	if fn := calleeFunc(sc.info, call); fn != nil && funcPkgPath(fn) == "sync/atomic" {
+		return // atomic access is a guard, not a race candidate
+	}
+	if _, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); !ok {
+		// f(...) where f may be a captured function value: a read of f.
+		sc.expr(call.Fun, false)
+	}
+	// Method receivers are skipped: the callee synchronizes (or its own
+	// body is analyzed where it's declared).
+	for _, arg := range call.Args {
+		sc.expr(arg, false)
+	}
+}
+
+// indexIsLocal reports whether the index expression involves a value
+// declared inside this goroutine region (closure parameters included):
+// the per-instance shard index of the fan-out idiom.
+func (sc *raceScanner) indexIsLocal(idx ast.Expr) bool {
+	found := false
+	ast.Inspect(idx, func(n ast.Node) bool {
+		if found || isFuncLit(n) {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj, ok := sc.info.Uses[id].(*types.Var); ok &&
+				!obj.IsField() && sc.local.contains(obj.Pos()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// chain decomposes a selector/index/deref chain to its base object and
+// field path, recording the access if the base is tracked and no step
+// of the path is self-synchronizing.
+func (sc *raceScanner) chain(e ast.Expr, write bool) {
+	var fields []string
+	elemLocal := false
+	base := e
+	for {
+		switch x := ast.Unparen(base).(type) {
+		case *ast.SelectorExpr:
+			if t := sc.info.TypeOf(x); t != nil && isSelfSynced(t) {
+				return
+			}
+			fields = append([]string{x.Sel.Name}, fields...)
+			base = x.X
+		case *ast.StarExpr:
+			// Dereference reaches distinct memory: reading p does not
+			// conflict with writing *p (only reassigning p does).
+			fields = append([]string{"*"}, fields...)
+			base = x.X
+		case *ast.IndexExpr:
+			sc.expr(x.Index, false)
+			switch typeUnder(sc.info.TypeOf(x.X)).(type) {
+			case *types.Slice, *types.Array, *types.Pointer:
+				// Sharding only works for indexed storage; map element
+				// writes race regardless of key.
+				if sc.indexIsLocal(x.Index) {
+					elemLocal = true
+				}
+			}
+			fields = append([]string{"[]"}, fields...)
+			base = x.X
+		case *ast.Ident:
+			obj, ok := sc.info.Uses[x].(*types.Var)
+			if !ok || obj.IsField() || !sc.tracked(obj) {
+				return
+			}
+			path := obj.Name()
+			if len(fields) > 0 {
+				path += "." + strings.Join(fields, ".")
+			}
+			sc.out = append(sc.out, &raceAccess{
+				obj: obj, path: path, write: write, elemLocal: elemLocal,
+				pos: e.Pos(), locks: sc.held.clone(), site: sc.site,
+			})
+			return
+		default:
+			// Chain rooted at a call/composite value: not a variable.
+			if sub, ok := base.(ast.Expr); ok && sub != e {
+				sc.expr(sub, false)
+			}
+			return
+		}
+	}
+}

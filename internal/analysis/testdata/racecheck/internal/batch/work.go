@@ -1,0 +1,175 @@
+// Package batch is the racecheck fixture: shared-state shapes the
+// detector must flag and the safe idioms it must pass.
+package batch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// unguarded: both goroutines increment n with no guard.
+func unguarded() int {
+	n := 0
+	go func() {
+		n++
+	}()
+	n++ // want `n is shared with the goroutine started at line \d+ and written without a consistent guard`
+	return n
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// guarded: both sides hold c.mu, and returning the pointer c only reads
+// the pointer word, not the field it guards.
+func guarded() *counter {
+	c := &counter{}
+	go func() {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c
+}
+
+// atomicCounter: sync/atomic calls are guards, not accesses.
+func atomicCounter() *int64 {
+	var n int64
+	go func() {
+		atomic.AddInt64(&n, 1)
+	}()
+	atomic.AddInt64(&n, 1)
+	return &n
+}
+
+type result struct{ n int }
+
+// publish: sending res on the channel is ownership hand-off; the
+// receiver owns it from then on.
+func publish(res *result, out chan *result) {
+	res.n = 1
+	go func() { out <- res }()
+}
+
+// handoffOK: the worker owns whatever arrives on tasks.
+func handoffOK(tasks chan []int) {
+	go func() {
+		for b := range tasks {
+			b[0] = 1
+		}
+	}()
+	buf := make([]int, 8)
+	buf[0] = 2
+	tasks <- buf
+}
+
+// prespawn: initialization before the go statement is safe publication,
+// and the Wait joins the goroutine before the final read.
+func prespawn(wg *sync.WaitGroup) []int {
+	buf := make([]int, 4)
+	buf[0] = 1
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf[1] = 2
+	}()
+	wg.Wait()
+	return buf
+}
+
+// postspawnRead: no join between the spawn and the element read.
+func postspawnRead() int {
+	buf := make([]int, 4)
+	go func() {
+		buf[1] = 2 // want `buf\.\[\] is shared with the goroutine started at line \d+ and written without a consistent guard`
+	}()
+	return buf[0]
+}
+
+// loopVar: Go 1.22 gives each iteration its own it; capturing it is not
+// sharing.
+func loopVar(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = it * 2
+		}()
+	}
+	wg.Wait()
+}
+
+// perIteration: local is declared inside the spawning loop, so each
+// goroutine gets a fresh one.
+func perIteration(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		local := it * 2
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local++
+		}()
+	}
+	wg.Wait()
+}
+
+// loopShared: sum outlives the loop, so the spawned goroutines race
+// with each other.
+func loopShared(items []int) int {
+	sum := 0
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum++ // want `sum is shared with the goroutine started at line \d+ and written without a consistent guard`
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+// escaped: the escape comment suppresses the report.
+func escaped() int {
+	n := 0
+	go func() {
+		n++ //lint:race-ok fixture: benign counter, precision is not needed
+	}()
+	return n
+}
+
+// runTask spawns a goroutine that writes through its buf parameter: the
+// escape fixpoint marks that parameter spawn-reaching.
+func runTask(buf []int, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf[0] = 1
+	}()
+}
+
+// caller: the write races with the goroutine runTask started two frames
+// down.
+func caller() {
+	var wg sync.WaitGroup
+	buf := make([]int, 4)
+	runTask(buf, &wg)
+	buf[1] = 2 // want `buf\.\[\] is shared with the goroutine started at line \d+ and written without a consistent guard`
+	wg.Wait()
+}
+
+// callerJoined: the Wait joins the spawned goroutine before the write.
+func callerJoined() {
+	var wg sync.WaitGroup
+	buf := make([]int, 4)
+	runTask(buf, &wg)
+	wg.Wait()
+	buf[1] = 2
+}

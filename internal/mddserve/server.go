@@ -308,6 +308,7 @@ func (s *Server) Close() {
 	}
 	s.cacheMu.Unlock()
 	for _, b := range builds {
+		//lint:ctx-ok shutdown must not orphan tile stores: each in-flight build closes ready when buildProblem returns, so the wait is bounded by the finite build set
 		<-b.ready
 		if b.store != nil {
 			b.store.Close()
@@ -481,6 +482,7 @@ func (s *Server) worker(runner *batch.ShardRunner) {
 	for {
 		s.mu.Lock()
 		for !s.closed && (s.paused || len(s.queue) == 0) {
+			//lint:ctx-ok wakeup protocol: Submit, Resume, and Close all broadcast under s.mu, and the park predicate rechecks closed/paused/queue before waiting again
 			s.cond.Wait()
 		}
 		if len(s.queue) == 0 {
@@ -553,7 +555,7 @@ func (s *Server) finish(j *job, terminal State) {
 
 // execute dispatches on job type.
 func (s *Server) execute(runner *batch.ShardRunner, j *job) (*JobResult, error) {
-	b, err := s.built(j.spec)
+	b, err := s.built(j.ctx, j.spec)
 	if err != nil {
 		return nil, err
 	}
@@ -681,15 +683,21 @@ func specKey(spec JobSpec) string {
 
 // built returns the cached dataset/kernel build for the spec, building
 // it exactly once per key (concurrent requesters wait on the ready
-// channel rather than duplicating the synthesis).
-func (s *Server) built(spec JobSpec) (*built, error) {
+// channel rather than duplicating the synthesis). The wait for another
+// requester's in-flight build honors the job's context, so a cancelled
+// job never wedges a worker behind a slow synthesis it doesn't own.
+func (s *Server) built(ctx context.Context, spec JobSpec) (*built, error) {
 	key := specKey(spec)
 	s.cacheMu.Lock()
 	b, ok := s.cache[key]
 	if ok {
 		s.cacheMu.Unlock()
 		obsCacheHits.Add(1)
-		<-b.ready
+		select {
+		case <-b.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		return b, b.err
 	}
 	b = &built{ready: make(chan struct{})}
